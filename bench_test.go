@@ -1,0 +1,542 @@
+// Benchmarks regenerating the paper's reported results and probing the
+// design decisions called out in DESIGN.md §5. The paper is an experience
+// paper without numeric tables; each benchmark corresponds to an experiment
+// id from DESIGN.md §4 (E1–E12) or an ablation. EXPERIMENTS.md records the
+// paper-vs-measured comparison for each.
+package neesgrid
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"neesgrid/internal/collab"
+	"neesgrid/internal/control"
+	"neesgrid/internal/core"
+	"neesgrid/internal/daq"
+	"neesgrid/internal/faultnet"
+	"neesgrid/internal/gridftp"
+	"neesgrid/internal/groundmotion"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/most"
+	"neesgrid/internal/nfms"
+	"neesgrid/internal/nsds"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/plugin"
+	"neesgrid/internal/repo"
+	"neesgrid/internal/structural"
+)
+
+// runExperiment executes one spec iteration with a unique run id.
+func runExperiment(b *testing.B, exp *most.Experiment, i int) *most.Results {
+	b.Helper()
+	exp.Spec.Name = fmt.Sprintf("bench-%d", i)
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Err != nil && res.Report.FailedStep == 0 {
+		b.Fatal(res.Err)
+	}
+	return res
+}
+
+func buildExperiment(b *testing.B, spec most.Spec) *most.Experiment {
+	b.Helper()
+	exp, err := most.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(exp.Stop)
+	return exp
+}
+
+// BenchmarkE1MostDryRun measures the distributed MS-PSDS step cycle of the
+// MOST dry run (all-simulation variant, 30 steps per iteration).
+func BenchmarkE1MostDryRun(b *testing.B) {
+	spec := most.DryRunSpec(most.VariantSimulation)
+	spec.Steps = 30
+	exp := buildExperiment(b, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, exp, i)
+		if !res.Report.Completed {
+			b.Fatalf("run %d did not complete", i)
+		}
+	}
+	b.ReportMetric(float64(30*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkE2FaultInjection measures the same cycle with transient network
+// faults recovered by NTCP retries.
+func BenchmarkE2FaultInjection(b *testing.B) {
+	spec := most.DryRunSpec(most.VariantSimulation)
+	spec.Steps = 30
+	spec.Faults = []most.Fault{
+		{Step: 10, Site: "uiuc", Count: 1},
+		{Step: 20, Site: "cu", Count: 1},
+	}
+	exp := buildExperiment(b, spec)
+	b.ResetTimer()
+	recovered := 0
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, exp, i)
+		recovered += res.Report.Recovered
+	}
+	b.ReportMetric(float64(recovered)/float64(b.N), "recoveries/run")
+}
+
+// BenchmarkE3Substitution measures the hybrid variant — simulated rigs
+// behind Shore-Western and xPC controllers — quantifying the cost of the
+// sim→physical substitution that NTCP makes transparent.
+func BenchmarkE3Substitution(b *testing.B) {
+	spec := most.DryRunSpec(most.VariantHybrid)
+	spec.Steps = 30
+	exp := buildExperiment(b, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, exp, i)
+		if !res.Report.Completed {
+			b.Fatalf("run %d did not complete", i)
+		}
+	}
+	b.ReportMetric(float64(30*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkE5ResponseSeries regenerates the Fig. 8 series (1,500-step
+// displacement/force/hysteresis histories) with the local single-process
+// solver — the pure numerical cost with no Grid in the loop.
+func BenchmarkE5ResponseSeries(b *testing.B) {
+	cfg := structural.MOSTConfig()
+	rec, err := groundmotion.Generate(groundmotion.ElCentroLike())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := cfg.Assembly()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := cfg.System(a)
+		h, err := structural.Run(sys, structural.NewExplicitNewmark(), structural.RunOptions{
+			Dt: cfg.Dt, Steps: cfg.Steps, Ground: rec.At,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Len() != cfg.Steps+1 {
+			b.Fatal("short history")
+		}
+	}
+}
+
+// BenchmarkE6CollabLoad measures the CHEF-style workspace under the §3.4
+// participation level: 130 logged-in users, chat post + poll per op.
+func BenchmarkE6CollabLoad(b *testing.B) {
+	ws := collab.NewWorkspace("most")
+	sessions := make([]*collab.Session, 130)
+	for i := range sessions {
+		s, err := ws.Login(fmt.Sprintf("user-%03d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sessions[i%len(sessions)]
+		if _, err := ws.Chat(s.Token, "main", "status update"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ws.ChatSince(s.Token, "main", uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7MiniMost measures the tabletop Mini-MOST cycle with the
+// first-order kinetic beam simulator.
+func BenchmarkE7MiniMost(b *testing.B) {
+	spec := most.MiniMOSTSpec(false)
+	spec.Steps = 30
+	exp := buildExperiment(b, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, exp, i)
+		if !res.Report.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+	b.ReportMetric(float64(30*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// ntcpFixture builds one NTCP site and a client over an optional WAN
+// profile.
+func ntcpFixture(b *testing.B, profile faultnet.Profile) *core.Client {
+	b.Helper()
+	ca, err := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Cert)
+	serverCred, _ := ca.Issue("/O=NEES/CN=site", time.Hour)
+	clientCred, _ := ca.Issue("/O=NEES/CN=coord", time.Hour)
+	gm := gsi.NewGridmap(map[string]string{"/O=NEES/CN=coord": "coord"})
+	cont := ogsi.NewContainer(serverCred, trust, gm)
+	plug := &core.SubstructurePlugin{Point: "drift", NDOF: 1,
+		Apply: func(d []float64) ([]float64, error) { return []float64{1e6 * d[0]}, nil }}
+	srv := core.NewServer(plug, nil, core.ServerOptions{})
+	cont.AddService(srv.Service())
+	addr, err := cont.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = cont.Stop(ctx)
+	})
+	og := ogsi.NewClient("http://"+addr, clientCred, trust)
+	og.HTTP = faultnet.Client(faultnet.NewInjector(profile))
+	return core.NewClient(og, core.DefaultRetry)
+}
+
+// BenchmarkE8NtcpLatencyLAN measures one propose+execute transaction round
+// trip on a LAN — the §5 "near-real-time requirements" baseline.
+func BenchmarkE8NtcpLatencyLAN(b *testing.B) {
+	cl := ntcpFixture(b, faultnet.LAN)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := cl.Run(ctx, &core.Proposal{
+			Name:    fmt.Sprintf("lat-%d", i),
+			Actions: []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}},
+		})
+		if err != nil || rec.State != core.StateExecuted {
+			b.Fatalf("%v %v", rec, err)
+		}
+	}
+}
+
+// BenchmarkE8NtcpLatencyWAN measures the same cycle through an emulated
+// wide-area path (5 ms one-way + jitter).
+func BenchmarkE8NtcpLatencyWAN(b *testing.B) {
+	cl := ntcpFixture(b, faultnet.Profile{Latency: 5 * time.Millisecond, Jitter: time.Millisecond, Seed: 7})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := cl.Run(ctx, &core.Proposal{
+			Name:    fmt.Sprintf("wan-%d", i),
+			Actions: []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}},
+		})
+		if err != nil || rec.State != core.StateExecuted {
+			b.Fatalf("%v %v", rec, err)
+		}
+	}
+}
+
+// BenchmarkE8NtcpFastPath measures the §5 "improving NTCP performance"
+// work: the combined proposeAndExecute operation halves the per-step round
+// trips while preserving policy screening and at-most-once semantics.
+func BenchmarkE8NtcpFastPath(b *testing.B) {
+	cl := ntcpFixture(b, faultnet.LAN)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := cl.RunFast(ctx, &core.Proposal{
+			Name:    fmt.Sprintf("fast-%d", i),
+			Actions: []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}},
+		})
+		if err != nil || rec.State != core.StateExecuted {
+			b.Fatalf("%v %v", rec, err)
+		}
+	}
+}
+
+// BenchmarkE9Ingestion measures incremental repository ingestion: DAQ spool
+// block → upload → metadata record.
+func BenchmarkE9Ingestion(b *testing.B) {
+	r, err := repo.New("/O=NEES/CN=repo")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spool, err := daq.NewSpool(b.TempDir(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := daq.New("uiuc", 1)
+	_ = d.AddChannel(daq.Channel{Name: "uiuc.lvdt1", Read: func() float64 { return 0.01 }})
+	d.AttachSpool(spool)
+	store := b.TempDir()
+	ing := &repo.Ingestor{
+		Repo: r, Spool: spool, Owner: "/O=NEES/CN=uiuc",
+		Experiment: "bench", Site: "uiuc",
+		Replica: func(block string) nfms.Replica {
+			return nfms.Replica{Transport: "local", Path: store + "/" + block}
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Scan(i, float64(i)*0.01); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ing.PollOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if ing.Uploaded() != b.N {
+		b.Fatalf("uploaded %d of %d blocks", ing.Uploaded(), b.N)
+	}
+}
+
+// BenchmarkE9GridFTPStreams measures striped-transfer throughput vs stream
+// count — the GridFTP parallelism NFMS negotiates for.
+func BenchmarkE9GridFTPStreams(b *testing.B) {
+	srv, err := gridftp.NewServer(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+
+	const size = 4 << 20
+	src := filepath.Join(b.TempDir(), "src.bin")
+	if err := os.WriteFile(src, make([]byte, size), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	for _, streams := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("streams-%d", streams), func(b *testing.B) {
+			cl := &gridftp.Client{Addr: addr}
+			b.SetBytes(size)
+			for i := 0; i < b.N; i++ {
+				if err := cl.Put(src, fmt.Sprintf("bench/%d/%d.bin", streams, i), streams); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE10Streaming measures NSDS fan-out throughput with ten
+// best-effort subscribers (one slow).
+func BenchmarkE10Streaming(b *testing.B) {
+	hub := nsds.NewHub()
+	defer hub.Close()
+	for i := 0; i < 9; i++ {
+		sub, _ := hub.Subscribe(1024)
+		go func() {
+			for range sub.C() {
+			}
+		}()
+	}
+	_, _ = hub.Subscribe(1) // slow consumer: exercises the drop path
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hub.Publish(nsds.Sample{Channel: "uiuc.disp", T: float64(i), Value: 0.01})
+	}
+	published, dropped := hub.Stats()
+	b.ReportMetric(float64(dropped)/float64(published), "drop-ratio")
+}
+
+// BenchmarkE12FourSite measures the §5 four-site soil-structure topology.
+func BenchmarkE12FourSite(b *testing.B) {
+	spec := most.SoilStructureSpec()
+	spec.Steps = 30
+	exp := buildExperiment(b, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := runExperiment(b, exp, i)
+		if !res.Report.Completed {
+			b.Fatal("run did not complete")
+		}
+	}
+	b.ReportMetric(float64(30*b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+// BenchmarkAblationTransactionVsDirect quantifies the cost of NTCP's
+// propose/execute separation versus a single direct command — the price
+// paid for pre-execution policy negotiation and idempotent retry.
+func BenchmarkAblationTransactionVsDirect(b *testing.B) {
+	ca, _ := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	trust := gsi.NewTrustStore(ca.Cert)
+	serverCred, _ := ca.Issue("/O=NEES/CN=site", time.Hour)
+	clientCred, _ := ca.Issue("/O=NEES/CN=coord", time.Hour)
+	gm := gsi.NewGridmap(map[string]string{"/O=NEES/CN=coord": "coord"})
+	cont := ogsi.NewContainer(serverCred, trust, gm)
+
+	apply := func(d []float64) ([]float64, error) { return []float64{1e6 * d[0]}, nil }
+	srv := core.NewServer(&core.SubstructurePlugin{Point: "drift", NDOF: 1, Apply: apply},
+		nil, core.ServerOptions{})
+	cont.AddService(srv.Service())
+
+	// Direct command service: one op, no transaction.
+	direct := ogsi.NewService("direct")
+	direct.RegisterOp("apply", func(_ context.Context, _ ogsi.Caller, params json.RawMessage) (any, error) {
+		var p struct {
+			D []float64 `json:"d"`
+		}
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, err
+		}
+		f, err := apply(p.D)
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]float64{"f": f}, nil
+	})
+	cont.AddService(direct)
+
+	addr, err := cont.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = cont.Stop(ctx)
+	})
+	og := ogsi.NewClient("http://"+addr, clientCred, trust)
+	ntcp := core.NewClient(og, core.NoRetry)
+	ctx := context.Background()
+
+	b.Run("transaction", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := ntcp.Run(ctx, &core.Proposal{
+				Name:    fmt.Sprintf("abl-%d", i),
+				Actions: []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}},
+			})
+			if err != nil || rec.State != core.StateExecuted {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var out map[string][]float64
+			if err := og.Call(ctx, "direct", "apply", map[string][]float64{"d": {0.001}}, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPushVsPollPlugin compares the direct (push) plugin with
+// the buffering poll/notify Mplugin, measuring the decoupling overhead of
+// the Fig. 9 NCSA integration pattern.
+func BenchmarkAblationPushVsPollPlugin(b *testing.B) {
+	ctx := context.Background()
+	actions := []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}}
+	apply := func(d []float64) ([]float64, error) { return []float64{1e6 * d[0]}, nil }
+
+	b.Run("push", func(b *testing.B) {
+		p := &core.SubstructurePlugin{Point: "drift", NDOF: 1, Apply: apply}
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Execute(ctx, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("poll", func(b *testing.B) {
+		m := plugin.NewMplugin("drift", 1, 16)
+		bctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		go func() { _ = m.RunBackend(bctx, apply) }()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Execute(ctx, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRigVsSimulation compares the plain numerical element
+// against the emulated servo rig (settle loop + sensors) — the per-step
+// price of physical fidelity.
+func BenchmarkAblationRigVsSimulation(b *testing.B) {
+	b.Run("simulation", func(b *testing.B) {
+		el := structural.NewBilinear(7.7e5, 25e3, 0.05)
+		d := 0.0
+		for i := 0; i < b.N; i++ {
+			d = 0.01 * float64(i%3)
+			_ = el.Restore(d)
+		}
+	})
+	b.Run("rig", func(b *testing.B) {
+		cfg := control.DefaultActuator()
+		cfg.PositionNoiseStd, cfg.ForceNoiseStd = 0, 0
+		rig := control.NewColumnRig("bench", cfg, 7.7e5, 25e3, 0.05)
+		for i := 0; i < b.N; i++ {
+			if _, err := rig.Apply([]float64{0.01 * float64(i%3)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationIntegrators compares the explicit-Newmark and α-OS
+// schemes on the MOST model — the per-step numerical cost of unconditional
+// stability (α-OS pays an extra effective-mass solve against the initial
+// stiffness).
+func BenchmarkAblationIntegrators(b *testing.B) {
+	cfg := structural.MOSTConfig()
+	ground := func(step int) float64 { return 0.5 }
+	run := func(b *testing.B, mk func() structural.Integrator) {
+		for i := 0; i < b.N; i++ {
+			a, err := cfg.Assembly()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := cfg.System(a)
+			if _, err := structural.Run(sys, mk(), structural.RunOptions{
+				Dt: cfg.Dt, Steps: 200, Ground: ground,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("explicit-newmark", func(b *testing.B) {
+		run(b, func() structural.Integrator { return structural.NewExplicitNewmark() })
+	})
+	b.Run("alpha-os", func(b *testing.B) {
+		run(b, func() structural.Integrator {
+			in, err := structural.NewAlphaOS(-0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return in
+		})
+	})
+}
+
+// BenchmarkAblationGSISigning isolates the message-security cost: sign +
+// verify one envelope per op.
+func BenchmarkAblationGSISigning(b *testing.B) {
+	ca, _ := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	cred, _ := ca.Issue("/O=NEES/CN=coord", time.Hour)
+	proxy, _ := cred.Delegate(time.Hour)
+	trust := gsi.NewTrustStore(ca.Cert)
+	payload := []byte(`{"service":"ntcp","op":"propose"}`)
+	now := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := gsi.Sign(proxy, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := trust.Open(env, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command chefd runs the CHEF-style collaboration server (paper §3, Fig. 8):
+// login, chat, message board, electronic notebook, presence, and the data
+// viewer. With -nsds it subscribes to a streaming endpoint and records the
+// stream for the viewer windows and VCR playback.
+//
+// Example:
+//
+//	chefd -addr 127.0.0.1:8088 -nsds 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"neesgrid/internal/collab"
+	"neesgrid/internal/nsds"
+	"neesgrid/internal/telepresence"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8088", "HTTP listen address")
+	nsdsAddr := flag.String("nsds", "", "NSDS endpoint to record (empty = no viewer feed)")
+	workspace := flag.String("workspace", "most", "workspace name")
+	retention := flag.Int("retention", 100_000, "viewer samples kept per channel")
+	camera := flag.String("camera", "", "expose a telepresence camera tracking this viewer channel")
+	flag.Parse()
+
+	ws := collab.NewWorkspace(*workspace)
+	viewer := collab.NewViewer(*retention)
+
+	if *nsdsAddr != "" {
+		cl, err := nsds.DialCatchUp(*nsdsAddr, 4096, nil, nil)
+		if err != nil {
+			fatal("nsds: %v", err)
+		}
+		defer cl.Close()
+		go viewer.FeedFrom(cl.C())
+		fmt.Printf("chefd: recording stream from %s\n", *nsdsAddr)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", collab.NewHandler(ws, viewer))
+	if *camera != "" {
+		reg := telepresence.NewRegistry()
+		// The demo camera watches the most recent sample of the named
+		// viewer channel — remote participants see the specimen move.
+		_ = reg.Add(telepresence.NewCamera(*camera+"-cam1", func() float64 {
+			win := viewer.Window(*camera, 0, 1e18)
+			if len(win) == 0 {
+				return 0
+			}
+			return win[len(win)-1].Value
+		}))
+		mux.Handle("/cameras", telepresence.NewHandler(reg))
+		mux.Handle("/cameras/", telepresence.NewHandler(reg))
+		fmt.Printf("chefd: telepresence camera %s-cam1 (GET /cameras)\n", *camera)
+	}
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fatal("serve: %v", err)
+		}
+	}()
+	fmt.Printf("chefd: workspace %q on http://%s (POST /login, /chat, /board, /notebook, GET /presence, /viewer/window)\n",
+		*workspace, *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("chefd: shutting down")
+	_ = srv.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chefd: "+format+"\n", args...)
+	os.Exit(1)
+}

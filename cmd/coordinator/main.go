@@ -1,0 +1,221 @@
+// Command coordinator runs the MS-PSDS simulation coordinator against
+// remote ntcpd sites (paper Fig. 5): it reads an experiment description,
+// drives the pseudo-dynamic loop over NTCP, and writes the response history
+// and run report.
+//
+// Example:
+//
+//	coordinator -config most.json \
+//	            -ca-cert certs/ca.cert -cred certs/coordinator.cred \
+//	            -out out/
+//
+// with most.json:
+//
+//	{
+//	  "name": "most",
+//	  "mass": 20000, "damping": 0.02, "dt": 0.01, "steps": 1500,
+//	  "ground": {"pga_g": 0.4, "seed": 1940},
+//	  "retry": {"attempts": 5, "backoff_ms": 50},
+//	  "sites": [
+//	    {"name": "uiuc", "addr": "127.0.0.1:4455", "point": "left-column", "k": 7.7e5},
+//	    {"name": "ncsa", "addr": "127.0.0.1:4456", "point": "middle-frame", "k": 2.0e6},
+//	    {"name": "cu",   "addr": "127.0.0.1:4457", "point": "right-column", "k": 7.7e5}
+//	  ]
+//	}
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"neesgrid/internal/coord"
+	"neesgrid/internal/core"
+	"neesgrid/internal/groundmotion"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/structural"
+)
+
+type groundConfig struct {
+	PGAg float64 `json:"pga_g"`
+	Seed int64   `json:"seed"`
+	// File overrides synthesis with a t,ag CSV record.
+	File string `json:"file,omitempty"`
+}
+
+type retryConfig struct {
+	Attempts  int `json:"attempts"`
+	BackoffMs int `json:"backoff_ms"`
+}
+
+type siteConfig struct {
+	Name  string  `json:"name"`
+	Addr  string  `json:"addr"`
+	Point string  `json:"point"`
+	K     float64 `json:"k"`
+}
+
+type experimentConfig struct {
+	Name    string       `json:"name"`
+	Mass    float64      `json:"mass"`
+	Damping float64      `json:"damping"`
+	Dt      float64      `json:"dt"`
+	Steps   int          `json:"steps"`
+	Ground  groundConfig `json:"ground"`
+	Retry   retryConfig  `json:"retry"`
+	Sites   []siteConfig `json:"sites"`
+}
+
+func main() {
+	configPath := flag.String("config", "", "experiment JSON (required)")
+	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
+	credPath := flag.String("cred", "", "coordinator credential")
+	out := flag.String("out", "out", "output directory")
+	flag.Parse()
+	if *configPath == "" || *credPath == "" {
+		fatal("need -config and -cred")
+	}
+
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		fatal("read config: %v", err)
+	}
+	var cfg experimentConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fatal("parse config: %v", err)
+	}
+	if len(cfg.Sites) == 0 || cfg.Mass <= 0 || cfg.Dt <= 0 || cfg.Steps <= 0 {
+		fatal("config needs sites, mass, dt, steps")
+	}
+
+	cert, err := gsi.LoadCertificate(*caCert)
+	if err != nil {
+		fatal("load CA cert: %v", err)
+	}
+	cred, err := gsi.LoadCredential(*credPath)
+	if err != nil {
+		fatal("load credential: %v", err)
+	}
+	trust := gsi.NewTrustStore(cert)
+
+	retry := core.DefaultRetry
+	if cfg.Retry.Attempts > 0 {
+		retry = core.RetryPolicy{
+			Attempts:   cfg.Retry.Attempts,
+			Backoff:    time.Duration(cfg.Retry.BackoffMs) * time.Millisecond,
+			MaxBackoff: 2 * time.Second,
+		}
+	}
+
+	totalK := 0.0
+	sites := make([]coord.Site, len(cfg.Sites))
+	for i, s := range cfg.Sites {
+		totalK += s.K
+		og := ogsi.NewClient("http://"+s.Addr, cred, trust)
+		sites[i] = coord.Site{
+			Name:         s.Name,
+			Client:       core.NewClient(og, retry),
+			ControlPoint: s.Point,
+			DOFs:         []int{0},
+		}
+	}
+
+	ground, err := loadGround(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	m := structural.Diagonal([]float64{cfg.Mass})
+	k := structural.Diagonal([]float64{totalK})
+	var damp *structural.Matrix
+	if cfg.Damping > 0 {
+		wn := structuralNaturalFreq(totalK, cfg.Mass)
+		damp = structural.RayleighDamping(m, k, cfg.Damping, wn, 5*wn)
+	}
+
+	co, err := coord.New(coord.Config{
+		M: m, C: damp, K: k,
+		Dt: cfg.Dt, Steps: cfg.Steps,
+		Ground: ground.At,
+		RunID:  cfg.Name,
+	}, sites...)
+	if err != nil {
+		fatal("coordinator: %v", err)
+	}
+
+	fmt.Printf("coordinator: running %q: %d steps x %g s over %d sites\n",
+		cfg.Name, cfg.Steps, cfg.Dt, len(sites))
+	hist, report, runErr := co.Run(context.Background())
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("output dir: %v", err)
+	}
+	writeOutputs(*out, cfg.Name, hist, ground)
+
+	fmt.Printf("coordinator: completed %d/%d steps in %s (recovered %d transient failures, %d retries)\n",
+		report.StepsCompleted, cfg.Steps, report.Elapsed.Round(time.Millisecond),
+		report.Recovered, report.Retries)
+	if runErr != nil {
+		fmt.Printf("coordinator: run terminated prematurely at step %d: %v\n",
+			report.FailedStep, runErr)
+		os.Exit(2)
+	}
+}
+
+func structuralNaturalFreq(k, m float64) float64 {
+	cfg := structural.FrameConfig{Mass: m, LeftK: k}
+	return cfg.NaturalFrequency()
+}
+
+func loadGround(cfg experimentConfig) (*groundmotion.Record, error) {
+	if cfg.Ground.File != "" {
+		f, err := os.Open(cfg.Ground.File)
+		if err != nil {
+			return nil, fmt.Errorf("ground motion file: %w", err)
+		}
+		defer f.Close()
+		rec, err := groundmotion.ReadCSV(f, cfg.Ground.File)
+		if err != nil {
+			return nil, err
+		}
+		return rec.Resample(cfg.Dt)
+	}
+	g := groundmotion.ElCentroLike()
+	g.Dt = cfg.Dt
+	g.Duration = float64(cfg.Steps) * cfg.Dt
+	if cfg.Ground.PGAg > 0 {
+		g.PGA = cfg.Ground.PGAg * 9.81
+	}
+	if cfg.Ground.Seed != 0 {
+		g.Seed = cfg.Ground.Seed
+	}
+	return groundmotion.Generate(g)
+}
+
+func writeOutputs(dir, name string, hist *structural.History, ground *groundmotion.Record) {
+	if hist != nil {
+		f, err := os.Create(filepath.Join(dir, name+"-history.csv"))
+		if err == nil {
+			_ = hist.WriteCSV(f)
+			_ = f.Close()
+			fmt.Printf("coordinator: wrote %s\n", f.Name())
+		}
+	}
+	if ground != nil {
+		f, err := os.Create(filepath.Join(dir, name+"-ground.csv"))
+		if err == nil {
+			_ = ground.WriteCSV(f)
+			_ = f.Close()
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
+	os.Exit(1)
+}

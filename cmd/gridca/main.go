@@ -1,0 +1,94 @@
+// Command gridca bootstraps the trust domain of a NEESgrid deployment: it
+// creates the virtual organization's certificate authority and issues site
+// and user credentials from it, mirroring the CA workflow the NEESgrid
+// sites used.
+//
+// Usage:
+//
+//	gridca init  -dir certs [-name "/O=NEES/CN=NEES CA"] [-validity 8760h]
+//	gridca issue -dir certs -subject "/O=NEES/CN=uiuc" [-validity 720h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"neesgrid/internal/gsi"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal("usage: gridca <init|issue> [flags]")
+	}
+	switch os.Args[1] {
+	case "init":
+		runInit(os.Args[2:])
+	case "issue":
+		runIssue(os.Args[2:])
+	default:
+		fatal("unknown subcommand %q (want init or issue)", os.Args[1])
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gridca: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func runInit(args []string) {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	dir := fs.String("dir", "certs", "output directory")
+	name := fs.String("name", "/O=NEES/CN=NEES CA", "CA subject name")
+	validity := fs.Duration("validity", 365*24*time.Hour, "CA validity")
+	_ = fs.Parse(args)
+
+	ca, err := gsi.NewAuthority(*name, *validity)
+	if err != nil {
+		fatal("create CA: %v", err)
+	}
+	if err := ca.Save(filepath.Join(*dir, "ca.json")); err != nil {
+		fatal("save CA: %v", err)
+	}
+	if err := gsi.SaveCertificate(ca.Cert, filepath.Join(*dir, "ca.cert")); err != nil {
+		fatal("save CA certificate: %v", err)
+	}
+	fmt.Printf("created CA %q\n  key:  %s\n  cert: %s\n",
+		*name, filepath.Join(*dir, "ca.json"), filepath.Join(*dir, "ca.cert"))
+}
+
+func runIssue(args []string) {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	dir := fs.String("dir", "certs", "CA directory (from gridca init)")
+	subject := fs.String("subject", "", "credential subject, e.g. /O=NEES/CN=uiuc")
+	validity := fs.Duration("validity", 30*24*time.Hour, "credential validity")
+	out := fs.String("out", "", "output path (default <dir>/<CN>.cred)")
+	_ = fs.Parse(args)
+	if *subject == "" {
+		fatal("issue needs -subject")
+	}
+	ca, err := gsi.LoadAuthority(filepath.Join(*dir, "ca.json"))
+	if err != nil {
+		fatal("load CA: %v", err)
+	}
+	cred, err := ca.Issue(*subject, *validity)
+	if err != nil {
+		fatal("issue: %v", err)
+	}
+	path := *out
+	if path == "" {
+		cn := *subject
+		if i := strings.LastIndex(cn, "CN="); i >= 0 {
+			cn = cn[i+3:]
+		}
+		cn = strings.ReplaceAll(cn, " ", "-")
+		path = filepath.Join(*dir, cn+".cred")
+	}
+	if err := gsi.SaveCredential(cred, path); err != nil {
+		fatal("save credential: %v", err)
+	}
+	fmt.Printf("issued %q -> %s\n", *subject, path)
+}

@@ -1,0 +1,258 @@
+// Command mostctl runs the paper's experiments end-to-end in one process:
+// it builds the requested topology (per-site containers, NTCP servers,
+// plugins, rigs, DAQ, WAN fault injection), runs the MS-PSDS coordinator,
+// and writes the response history, ground motion, per-site hysteresis
+// series, and a run report — the artifacts behind DESIGN.md experiments
+// E1, E2, E3, E5, E7, and E12.
+//
+// Examples:
+//
+//	mostctl -experiment dry-run                     # E1: completes 1500/1500
+//	mostctl -experiment public-run                  # E2: aborts at 1493/1500
+//	mostctl -experiment dry-run -variant hybrid     # E3: emulated rigs
+//	mostctl -experiment minimost                    # E7
+//	mostctl -experiment soil-structure              # E12
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"neesgrid/internal/groundmotion"
+	"neesgrid/internal/most"
+)
+
+func main() {
+	experiment := flag.String("experiment", "dry-run",
+		"dry-run|public-run|minimost|minimost-hw|soil-structure")
+	variant := flag.String("variant", "simulation", "simulation|hybrid (MOST experiments)")
+	steps := flag.Int("steps", 0, "override step count (0 = experiment default)")
+	daqEvery := flag.Int("daq-every", 10, "DAQ scan interval in steps (0 = off)")
+	out := flag.String("out", "out", "output directory")
+	archiveDir := flag.String("archive", "", "archive DAQ blocks to a repository under this directory")
+	spectrum := flag.Bool("spectrum", false, "also write the input motion's 5%-damped response spectrum")
+	flag.Parse()
+
+	var v most.Variant
+	switch *variant {
+	case "simulation":
+		v = most.VariantSimulation
+	case "hybrid":
+		v = most.VariantHybrid
+	default:
+		fatal("unknown -variant %q", *variant)
+	}
+
+	var spec most.Spec
+	switch *experiment {
+	case "dry-run":
+		spec = most.DryRunSpec(v)
+	case "public-run":
+		spec = most.PublicRunSpec(v)
+	case "minimost":
+		spec = most.MiniMOSTSpec(false)
+	case "minimost-hw":
+		spec = most.MiniMOSTSpec(true)
+	case "soil-structure":
+		spec = most.SoilStructureSpec()
+	default:
+		fatal("unknown -experiment %q", *experiment)
+	}
+	if *steps > 0 {
+		spec.Steps = *steps
+	}
+	spec.DAQEvery = *daqEvery
+	if *archiveDir != "" {
+		if spec.DAQEvery <= 0 {
+			fatal("-archive requires -daq-every > 0")
+		}
+		spec.Archive = &most.ArchiveConfig{
+			SpoolDir: filepath.Join(*archiveDir, "spool"),
+			StoreDir: filepath.Join(*archiveDir, "store"),
+		}
+	}
+
+	totalSteps := spec.Steps
+	if totalSteps == 0 {
+		totalSteps = spec.Frame.Steps
+	}
+	fmt.Printf("mostctl: %s (%s), %d steps x %g s, %d sites\n",
+		*experiment, *variant, totalSteps, spec.Frame.Dt, len(spec.Sites))
+	for _, s := range spec.Sites {
+		fmt.Printf("  site %-8s backend=%-14s point=%-13s k=%.3g\n",
+			s.Name, s.Kind, s.Point, s.K)
+	}
+
+	exp, err := most.Build(spec)
+	if err != nil {
+		fatal("build: %v", err)
+	}
+	defer exp.Stop()
+
+	start := time.Now()
+	res, err := exp.Run(context.Background())
+	if err != nil {
+		fatal("run: %v", err)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("output dir: %v", err)
+	}
+	prefix := filepath.Join(*out, *experiment)
+	if res.History != nil {
+		writeCSV(prefix+"-history.csv", func(f *os.File) error {
+			return res.History.WriteCSV(f)
+		})
+	}
+	writeHysteresis(exp, prefix)
+	writeReport(prefix+"-report.txt", *experiment, *variant, res, totalSteps)
+	if *spectrum {
+		writeSpectrum(prefix, spec)
+	}
+
+	fmt.Printf("mostctl: %d/%d steps in %s; recovered %d transient failures (%d injected, %d retries)\n",
+		res.Report.StepsCompleted, totalSteps, time.Since(start).Round(time.Millisecond),
+		res.Report.Recovered, res.InjectedFaults, res.Report.Retries)
+	if res.History != nil {
+		fmt.Printf("mostctl: peak drift %.4g m, peak force %.4g N, hysteretic energy %.4g J\n",
+			res.History.PeakDisplacement(0), res.History.PeakForce(0),
+			res.History.HystereticEnergy(0))
+	}
+	if *archiveDir != "" {
+		if res.ArchiveErr != nil {
+			fmt.Printf("mostctl: archive error: %v\n", res.ArchiveErr)
+		} else {
+			fmt.Printf("mostctl: archived %d data blocks (+metadata) under %s\n",
+				exp.IngestedBlocks(), *archiveDir)
+		}
+	}
+	if res.Err != nil {
+		fmt.Printf("mostctl: run terminated prematurely at step %d: %v\n",
+			res.Report.FailedStep, res.Err)
+		os.Exit(2)
+	}
+	fmt.Println("mostctl: run completed successfully")
+}
+
+func writeCSV(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mostctl: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "mostctl: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("mostctl: wrote %s\n", path)
+}
+
+// writeHysteresis emits per-site force-displacement series from the viewer
+// (the Fig. 8 hysteresis plots).
+func writeHysteresis(exp *most.Experiment, prefix string) {
+	for _, site := range exp.Sites {
+		name := site.Spec.Name
+		xs, ys := exp.Viewer.XY(name+".disp", name+".force")
+		if len(xs) == 0 {
+			continue
+		}
+		writeCSV(fmt.Sprintf("%s-%s-hysteresis.csv", prefix, name), func(f *os.File) error {
+			w := csv.NewWriter(f)
+			if err := w.Write([]string{"disp", "force"}); err != nil {
+				return err
+			}
+			for i := range xs {
+				if err := w.Write([]string{
+					strconv.FormatFloat(xs[i], 'g', -1, 64),
+					strconv.FormatFloat(ys[i], 'g', -1, 64),
+				}); err != nil {
+					return err
+				}
+			}
+			w.Flush()
+			return w.Error()
+		})
+	}
+}
+
+func writeReport(path, experiment, variant string, res *most.Results, totalSteps int) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mostctl: %v\n", err)
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "experiment: %s (%s)\n", experiment, variant)
+	fmt.Fprintf(f, "steps completed: %d / %d\n", res.Report.StepsCompleted, totalSteps)
+	fmt.Fprintf(f, "completed: %v\n", res.Report.Completed)
+	if res.Report.FailedStep > 0 {
+		fmt.Fprintf(f, "failed at step: %d\nerror: %v\n", res.Report.FailedStep, res.Report.Err)
+	}
+	fmt.Fprintf(f, "elapsed: %s\n", res.Report.Elapsed)
+	fmt.Fprintf(f, "transient failures recovered: %d\n", res.Report.Recovered)
+	fmt.Fprintf(f, "retries: %d\n", res.Report.Retries)
+	fmt.Fprintf(f, "faults injected: %d\n", res.InjectedFaults)
+	fmt.Fprintf(f, "daq scans: %d\n", res.DAQScans)
+	if res.History != nil {
+		fmt.Fprintf(f, "peak drift (m): %g\n", res.History.PeakDisplacement(0))
+		fmt.Fprintf(f, "peak force (N): %g\n", res.History.PeakForce(0))
+		fmt.Fprintf(f, "hysteretic energy (J): %g\n", res.History.HystereticEnergy(0))
+	}
+	fmt.Printf("mostctl: wrote %s\n", path)
+}
+
+// writeSpectrum regenerates the input motion and writes its 5%-damped
+// displacement/pseudo-acceleration response spectrum — the engineering
+// summary of what the experiment's structures were subjected to.
+func writeSpectrum(prefix string, spec most.Spec) {
+	cfg := groundmotion.ElCentroLike()
+	cfg.Dt = spec.Frame.Dt
+	steps := spec.Steps
+	if steps <= 0 {
+		steps = spec.Frame.Steps
+	}
+	cfg.Duration = float64(steps) * spec.Frame.Dt
+	rec, err := groundmotion.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mostctl: spectrum: %v\n", err)
+		return
+	}
+	periods := groundmotion.LinSpace(0.1, 2.0, 39)
+	s, err := groundmotion.ResponseSpectrum(rec, 0.05, periods)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mostctl: spectrum: %v\n", err)
+		return
+	}
+	writeCSV(prefix+"-spectrum.csv", func(f *os.File) error {
+		w := csv.NewWriter(f)
+		if err := w.Write([]string{"period", "sd", "sv", "sa"}); err != nil {
+			return err
+		}
+		for i, p := range s.Periods {
+			if err := w.Write([]string{
+				strconv.FormatFloat(p, 'g', -1, 64),
+				strconv.FormatFloat(s.Sd[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Sv[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Sa[i], 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	})
+	fmt.Printf("mostctl: predominant period %.2f s (frame period %.2f s)\n",
+		s.PeakPeriod(), spec.Frame.Period())
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mostctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command nsdsd runs a NEESgrid Streaming Data Service endpoint (paper
+// §2.2): a best-effort real-time fan-out of DAQ samples to remote
+// subscribers over TCP. With -demo it publishes a synthetic two-channel
+// signal so viewers can be exercised without an experiment.
+//
+// Example:
+//
+//	nsdsd -addr 127.0.0.1:7777 -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neesgrid/internal/nsds"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
+	demo := flag.Bool("demo", false, "publish a synthetic demo signal")
+	demoRate := flag.Duration("demo-rate", 10*time.Millisecond, "demo sample interval")
+	retention := flag.Int("retention", 1000, "samples retained per channel for late joiners (0 = off)")
+	flag.Parse()
+
+	hub := nsds.NewHub()
+	hub.SetRetention(*retention)
+	srv := nsds.NewServer(hub)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal("start: %v", err)
+	}
+	fmt.Printf("nsdsd: streaming on %s\n", bound)
+
+	stop := make(chan struct{})
+	if *demo {
+		go func() {
+			t := time.NewTicker(*demoRate)
+			defer t.Stop()
+			start := time.Now()
+			for {
+				select {
+				case now := <-t.C:
+					et := now.Sub(start).Seconds()
+					hub.Publish(nsds.Sample{Channel: "demo.disp", T: et,
+						Value: 0.01 * math.Sin(2*math.Pi*1.2*et)})
+					hub.Publish(nsds.Sample{Channel: "demo.force", T: et,
+						Value: 7.7e3 * math.Sin(2*math.Pi*1.2*et)})
+				case <-stop:
+					return
+				}
+			}
+		}()
+		fmt.Println("nsdsd: publishing demo.disp and demo.force")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	published, dropped := hub.Stats()
+	fmt.Printf("nsdsd: shutting down (published %d, dropped %d)\n", published, dropped)
+	_ = srv.Close()
+	hub.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nsdsd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command ntcpd runs one NEESgrid site: an OGSI container hosting an NTCP
+// server whose control plugin drives either a numerical substructure or an
+// emulated rig (paper Fig. 2 / Fig. 9). Pointed at by cmd/coordinator.
+//
+// Example (a UIUC-style site with an emulated servo-hydraulic rig):
+//
+//	ntcpd -addr 127.0.0.1:4455 \
+//	      -ca-cert certs/ca.cert -cred certs/uiuc.cred \
+//	      -allow "/O=NEES/CN=coordinator=coord" \
+//	      -point left-column -kind shore-western \
+//	      -k 7.7e5 -fy 25e3 -hardening 0.05 -max-disp 0.15
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"neesgrid/internal/control"
+	"neesgrid/internal/core"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/plugin"
+	"neesgrid/internal/structural"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4455", "listen address")
+	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
+	credPath := flag.String("cred", "", "site credential (from gridca issue)")
+	allow := flag.String("allow", "", "comma-separated identity=account gridmap entries")
+	point := flag.String("point", "drift", "control point name")
+	kind := flag.String("kind", "simulation", "backend: simulation|shore-western|xpc|kinetic")
+	k := flag.Float64("k", 7.7e5, "substructure elastic stiffness N/m")
+	fy := flag.Float64("fy", 0, "yield force N (0 = linear)")
+	hardening := flag.Float64("hardening", 0.05, "post-yield stiffness ratio")
+	maxDisp := flag.Float64("max-disp", 0, "site policy displacement limit m (0 = none)")
+	flag.Parse()
+
+	if *credPath == "" {
+		fatal("need -cred (issue one with gridca)")
+	}
+	cert, err := gsi.LoadCertificate(*caCert)
+	if err != nil {
+		fatal("load CA cert: %v", err)
+	}
+	cred, err := gsi.LoadCredential(*credPath)
+	if err != nil {
+		fatal("load credential: %v", err)
+	}
+	gm := gsi.NewGridmap(nil)
+	for _, entry := range strings.Split(*allow, ",") {
+		if entry == "" {
+			continue
+		}
+		// Identities contain "=" (e.g. /O=NEES/CN=coordinator); the
+		// account is everything after the last "=".
+		cut := strings.LastIndex(entry, "=")
+		if cut < 0 {
+			fatal("bad -allow entry %q (want identity=account)", entry)
+		}
+		id, acct := entry[:cut], entry[cut+1:]
+		if id == "" || acct == "" {
+			fatal("bad -allow entry %q (want identity=account)", entry)
+		}
+		gm.Map(id, acct)
+	}
+
+	plug, err := buildPlugin(*kind, *point, *k, *fy, *hardening)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var policy *core.SitePolicy
+	if *maxDisp > 0 {
+		policy = &core.SitePolicy{PointLimits: map[string]core.Limits{
+			*point: {MaxDisplacement: *maxDisp},
+		}}
+	}
+	server := core.NewServer(plug, policy, core.ServerOptions{})
+	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
+	cont.AddService(server.Service())
+	bound, err := cont.Start(*addr)
+	if err != nil {
+		fatal("start: %v", err)
+	}
+	fmt.Printf("ntcpd: site %s serving %q (%s, k=%g) on %s\n",
+		cred.Identity(), *point, *kind, *k, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ntcpd: shutting down")
+	stopCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = cont.Stop(stopCtx)
+}
+
+func buildPlugin(kind, point string, k, fy, hardening float64) (core.Plugin, error) {
+	switch kind {
+	case "simulation":
+		var elem structural.Element
+		if fy > 0 {
+			elem = structural.NewBilinear(k, fy, hardening)
+		} else {
+			elem = structural.NewLinearElastic(k)
+		}
+		var mu sync.Mutex
+		return &core.SubstructurePlugin{Point: point, NDOF: 1,
+			Apply: func(d []float64) ([]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return []float64{elem.Restore(d[0])}, nil
+			}}, nil
+	case "shore-western":
+		rig := control.NewColumnRig(point+"-rig", control.DefaultActuator(), k, fy, hardening)
+		srv := control.NewShoreWesternServer(rig)
+		swAddr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("start shore-western controller: %w", err)
+		}
+		return &plugin.ShoreWesternPlugin{Point: point, Client: control.NewShoreWesternClient(swAddr)}, nil
+	case "xpc":
+		rig := control.NewColumnRig(point+"-rig", control.DefaultActuator(), k, fy, hardening)
+		target := control.NewXPCTarget(rig)
+		target.Start(time.Millisecond)
+		return &plugin.XPCPlugin{Point: point, Target: target, SettleTimeout: 10 * time.Second}, nil
+	case "kinetic":
+		sim := control.NewFirstOrderKinetic(point+"-kinetic", k, 0.02, 1.0)
+		var mu sync.Mutex
+		return &core.SubstructurePlugin{Point: point, NDOF: 1,
+			Apply: func(d []float64) ([]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return sim.Apply(d)
+			}}, nil
+	default:
+		return nil, fmt.Errorf("unknown -kind %q", kind)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ntcpd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command repod runs the NEESgrid data and metadata repository (paper §2.3,
+// Fig. 3): a GridFTP-style transfer server for bulk data, an OGSI container
+// hosting the NMDS and NFMS catalog services, and the HTTPS bridge that
+// serves logical files to browser-class clients.
+//
+// Example:
+//
+//	repod -addr 127.0.0.1:8445 -gridftp 127.0.0.1:2811 -bridge 127.0.0.1:8446 \
+//	      -root /srv/nees-data \
+//	      -ca-cert certs/ca.cert -cred certs/repo.cred \
+//	      -allow "/O=NEES/CN=uiuc=uiuc,/O=NEES/CN=coordinator=coord"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"neesgrid/internal/gridftp"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/nfms"
+	"neesgrid/internal/nmds"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/repo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8445", "OGSI container address (NMDS + NFMS)")
+	gridftpAddr := flag.String("gridftp", "127.0.0.1:2811", "GridFTP-style transfer address")
+	bridgeAddr := flag.String("bridge", "", "HTTPS-bridge address (empty = disabled)")
+	root := flag.String("root", "data", "file store root directory")
+	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
+	credPath := flag.String("cred", "", "repository credential")
+	allow := flag.String("allow", "", "comma-separated identity=account gridmap entries")
+	flag.Parse()
+	if *credPath == "" {
+		fatal("need -cred")
+	}
+
+	cert, err := gsi.LoadCertificate(*caCert)
+	if err != nil {
+		fatal("load CA cert: %v", err)
+	}
+	cred, err := gsi.LoadCredential(*credPath)
+	if err != nil {
+		fatal("load credential: %v", err)
+	}
+	gm := gsi.NewGridmap(nil)
+	for _, entry := range strings.Split(*allow, ",") {
+		if entry == "" {
+			continue
+		}
+		// Identities contain "=" (e.g. /O=NEES/CN=coordinator); the
+		// account is everything after the last "=".
+		cut := strings.LastIndex(entry, "=")
+		if cut < 0 {
+			fatal("bad -allow entry %q (want identity=account)", entry)
+		}
+		id, acct := entry[:cut], entry[cut+1:]
+		if id == "" || acct == "" {
+			fatal("bad -allow entry %q", entry)
+		}
+		gm.Map(id, acct)
+	}
+
+	r, err := repo.New(cred.Identity())
+	if err != nil {
+		fatal("repository: %v", err)
+	}
+
+	ftp, err := gridftp.NewServer(*root)
+	if err != nil {
+		fatal("gridftp: %v", err)
+	}
+	ftpBound, err := ftp.Start(*gridftpAddr)
+	if err != nil {
+		fatal("gridftp start: %v", err)
+	}
+	fmt.Printf("repod: gridftp serving %s on %s\n", *root, ftpBound)
+
+	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
+	cont.AddService(nmds.NewService(r.Meta))
+	cont.AddService(nfms.NewService(r.Files))
+	bound, err := cont.Start(*addr)
+	if err != nil {
+		fatal("container start: %v", err)
+	}
+	fmt.Printf("repod: NMDS + NFMS on %s (identity %s)\n", bound, cred.Identity())
+
+	var bridgeServer *http.Server
+	if *bridgeAddr != "" {
+		bridge := &repo.Bridge{Repo: r}
+		mux := http.NewServeMux()
+		mux.Handle("/files/", bridge)
+		bridgeServer = &http.Server{Addr: *bridgeAddr, Handler: mux}
+		go func() {
+			if err := bridgeServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "repod: bridge: %v\n", err)
+			}
+		}()
+		fmt.Printf("repod: https bridge on %s\n", *bridgeAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("repod: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = cont.Stop(ctx)
+	_ = ftp.Close()
+	if bridgeServer != nil {
+		_ = bridgeServer.Shutdown(ctx)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "repod: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+// Quickstart: one NTCP transaction against a simulated substructure, first
+// in-process, then across a secured OGSI container — the minimal version of
+// what the MOST coordinator did 1,500 times per experiment.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"neesgrid"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A substructure is anything that can accept a displacement and report
+	// the restoring force it develops. Here: a 2 MN/m linear spring
+	// standing in for a steel column.
+	plugin := &neesgrid.SubstructurePlugin{
+		Point: "drift",
+		NDOF:  1,
+		Apply: func(d []float64) ([]float64, error) {
+			return []float64{2e6 * d[0]}, nil
+		},
+	}
+
+	// Site policy: the facility manager caps displacement at 5 cm.
+	policy := &neesgrid.SitePolicy{PointLimits: map[string]neesgrid.Limits{
+		"drift": {MaxDisplacement: 0.05},
+	}}
+
+	// ---- Part 1: in-process transaction lifecycle ----
+	server := neesgrid.NewNTCPServer(plugin, policy, neesgrid.NTCPServerOptions{})
+
+	rec, err := server.Propose(ctx, "quickstart-user", &neesgrid.Proposal{
+		Name:    "step-1",
+		Actions: []neesgrid.Action{{ControlPoint: "drift", Displacements: []float64{0.01}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposal %q -> %s\n", rec.Name, rec.State)
+
+	rec, err = server.Execute(ctx, "quickstart-user", "step-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %q: displacement %.3f m -> force %.0f N\n",
+		rec.Name, rec.Results[0].Displacements[0], rec.Results[0].Forces[0])
+
+	// A proposal that violates site policy is rejected before anything
+	// moves — the negotiation step of §2.1.
+	rec, _ = server.Propose(ctx, "quickstart-user", &neesgrid.Proposal{
+		Name:    "step-too-big",
+		Actions: []neesgrid.Action{{ControlPoint: "drift", Displacements: []float64{0.20}}},
+	})
+	fmt.Printf("oversized proposal -> %s (%s)\n", rec.State, rec.Error)
+
+	// ---- Part 2: the same thing across the Grid fabric ----
+	ca, err := neesgrid.NewAuthority("/O=NEES/CN=Quickstart CA", time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trust := neesgrid.NewTrustStore(ca.Cert)
+	siteCred, _ := ca.Issue("/O=NEES/CN=site", time.Hour)
+	userCred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	gridmap := neesgrid.NewGridmap(map[string]string{"/O=NEES/CN=alice": "alice"})
+
+	container := neesgrid.NewContainer(siteCred, trust, gridmap)
+	remote := neesgrid.NewNTCPServer(plugin, policy, neesgrid.NTCPServerOptions{})
+	container.AddService(remote.Service())
+	addr, err := container.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		stopCtx, cancel := context.WithTimeout(ctx, time.Second)
+		defer cancel()
+		_ = container.Stop(stopCtx)
+	}()
+
+	client := neesgrid.NewNTCPClient(
+		neesgrid.NewOGSIClient("http://"+addr, userCred, trust),
+		neesgrid.DefaultRetry)
+	rec, err = client.Run(ctx, &neesgrid.Proposal{
+		Name:    "remote-step-1",
+		Actions: []neesgrid.Action{{ControlPoint: "drift", Displacements: []float64{0.02}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote transaction %q over %s: %s, force %.0f N (signed, authorized, at-most-once)\n",
+		rec.Name, addr, rec.State, rec.Results[0].Forces[0])
+}

@@ -1,0 +1,3 @@
+module neesgrid
+
+go 1.23

@@ -1,0 +1,272 @@
+// Package cas implements a Community Authorization Service in the style of
+// Pearlman et al. [17], which the paper lists as the planned next step for
+// repository access control (§2.3: "We plan to add support for the
+// Community Authorization Service", §3.3: "areas to be more fully developed
+// in later releases, such [as] CAS-based access control").
+//
+// The model: a community runs a CAS server holding community policy (who
+// may do what to which resources). A member authenticates to CAS and is
+// issued a signed capability assertion restricted to the intersection of
+// what they asked for and what policy grants. Resource servers trust the
+// CAS signing identity and enforce presented assertions in addition to
+// their own local policy — community policy can only narrow, never widen,
+// site policy.
+package cas
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"neesgrid/internal/gsi"
+)
+
+// Right is one capability: an action on a resource pattern. Patterns match
+// exactly or by "*" suffix ("nmds:data:*" matches "nmds:data:most/uiuc").
+type Right struct {
+	Action   string `json:"action"`
+	Resource string `json:"resource"`
+}
+
+// Matches reports whether the right covers the concrete action/resource.
+func (r Right) Matches(action, resource string) bool {
+	if r.Action != action && r.Action != "*" {
+		return false
+	}
+	if r.Resource == resource || r.Resource == "*" {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(r.Resource, "*"); ok {
+		return strings.HasPrefix(resource, prefix)
+	}
+	return false
+}
+
+// Assertion is a signed capability statement: the community asserts that
+// Subject holds Rights until NotAfter.
+type Assertion struct {
+	Community string    `json:"community"`
+	Subject   string    `json:"subject"`
+	Rights    []Right   `json:"rights"`
+	NotBefore time.Time `json:"not_before"`
+	NotAfter  time.Time `json:"not_after"`
+	Signature []byte    `json:"signature"`
+}
+
+func (a *Assertion) tbs() []byte {
+	c := *a
+	c.Signature = nil
+	raw, err := json.Marshal(&c)
+	if err != nil {
+		panic(fmt.Sprintf("cas: assertion encoding: %v", err)) // cannot fail for this type
+	}
+	return raw
+}
+
+// Errors.
+var (
+	ErrNotGranted   = errors.New("cas: right not granted")
+	ErrBadAssertion = errors.New("cas: invalid assertion")
+	ErrExpired      = errors.New("cas: assertion expired")
+)
+
+// Server is the community policy point: it holds grants (direct and via
+// groups) and issues signed assertions.
+type Server struct {
+	community string
+	cred      *gsi.Credential
+
+	mu      sync.Mutex
+	grants  map[string][]Right  // identity → rights
+	groups  map[string][]Right  // group → rights
+	members map[string][]string // identity → groups
+}
+
+// NewServer creates a CAS for a community, signing with cred.
+func NewServer(community string, cred *gsi.Credential) (*Server, error) {
+	if cred == nil || cred.Leaf() == nil {
+		return nil, fmt.Errorf("cas: server needs a signing credential")
+	}
+	return &Server{
+		community: community,
+		cred:      cred,
+		grants:    make(map[string][]Right),
+		groups:    make(map[string][]Right),
+		members:   make(map[string][]string),
+	}, nil
+}
+
+// Identity returns the CAS signing identity.
+func (s *Server) Identity() string { return s.cred.Identity() }
+
+// Grant gives an identity a right directly.
+func (s *Server) Grant(identity string, rights ...Right) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grants[identity] = append(s.grants[identity], rights...)
+}
+
+// DefineGroup attaches rights to a named group.
+func (s *Server) DefineGroup(group string, rights ...Right) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.groups[group] = append(s.groups[group], rights...)
+}
+
+// AddMember puts an identity into a group.
+func (s *Server) AddMember(group, identity string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.members[identity] = append(s.members[identity], group)
+}
+
+// rightsFor collects the identity's effective rights.
+func (s *Server) rightsFor(identity string) []Right {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]Right(nil), s.grants[identity]...)
+	for _, g := range s.members[identity] {
+		out = append(out, s.groups[g]...)
+	}
+	return out
+}
+
+// Issue returns a signed assertion for the identity, restricted to the
+// intersection of requested rights and community policy. Requesting nil
+// asks for everything granted. An identity with no applicable rights gets
+// ErrNotGranted.
+func (s *Server) Issue(identity string, requested []Right, ttl time.Duration) (*Assertion, error) {
+	granted := s.rightsFor(identity)
+	var rights []Right
+	if requested == nil {
+		rights = granted
+	} else {
+		for _, req := range requested {
+			for _, g := range granted {
+				// A requested right is covered if policy grants something
+				// at least as broad.
+				if g.Matches(req.Action, strings.TrimSuffix(req.Resource, "*")) ||
+					(g.Action == req.Action || g.Action == "*") && g.Resource == req.Resource {
+					rights = append(rights, req)
+					break
+				}
+			}
+		}
+	}
+	if len(rights) == 0 {
+		return nil, fmt.Errorf("%w: %s has no applicable rights", ErrNotGranted, identity)
+	}
+	now := time.Now()
+	a := &Assertion{
+		Community: s.community,
+		Subject:   identity,
+		Rights:    rights,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  now.Add(ttl),
+	}
+	a.Signature = ed25519.Sign(s.cred.Key, a.tbs())
+	return a, nil
+}
+
+// Verifier checks assertions at a resource server.
+type Verifier struct {
+	community string
+	// signingKey is the CAS leaf public key the resource server trusts.
+	signingKey ed25519.PublicKey
+}
+
+// NewVerifier trusts assertions signed by the given CAS certificate for the
+// named community.
+func NewVerifier(community string, casCert *gsi.Certificate) *Verifier {
+	return &Verifier{community: community, signingKey: casCert.PublicKey}
+}
+
+// Verify checks an assertion's signature, community, and validity window.
+func (v *Verifier) Verify(a *Assertion, now time.Time) error {
+	if a == nil {
+		return ErrBadAssertion
+	}
+	if a.Community != v.community {
+		return fmt.Errorf("%w: community %q, want %q", ErrBadAssertion, a.Community, v.community)
+	}
+	if now.Before(a.NotBefore) || now.After(a.NotAfter) {
+		return fmt.Errorf("%w: valid %s..%s", ErrExpired, a.NotBefore, a.NotAfter)
+	}
+	if !ed25519.Verify(v.signingKey, a.tbs(), a.Signature) {
+		return fmt.Errorf("%w: bad signature", ErrBadAssertion)
+	}
+	return nil
+}
+
+// Check verifies the assertion and that it entitles identity to perform
+// action on resource.
+func (v *Verifier) Check(a *Assertion, identity, action, resource string, now time.Time) error {
+	if err := v.Verify(a, now); err != nil {
+		return err
+	}
+	if a.Subject != identity {
+		return fmt.Errorf("%w: assertion for %q presented by %q", ErrBadAssertion, a.Subject, identity)
+	}
+	for _, r := range a.Rights {
+		if r.Matches(action, resource) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s on %s", ErrNotGranted, action, resource)
+}
+
+// Registry holds the assertions clients have presented to a resource
+// server, keyed by subject — the server-side wallet consulted by local
+// authorization hooks (e.g. nmds.Store.SetAuthorizer).
+type Registry struct {
+	verifier *Verifier
+
+	mu        sync.Mutex
+	presented map[string]*Assertion
+	clock     func() time.Time
+}
+
+// NewRegistry builds a registry over a verifier.
+func NewRegistry(v *Verifier) *Registry {
+	return &Registry{verifier: v, presented: make(map[string]*Assertion), clock: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (r *Registry) SetClock(clock func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clock = clock
+}
+
+// Present validates and stores an assertion (replacing any previous one for
+// the same subject).
+func (r *Registry) Present(a *Assertion) error {
+	r.mu.Lock()
+	now := r.clock()
+	r.mu.Unlock()
+	if err := r.verifier.Verify(a, now); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.presented[a.Subject] = a
+	return nil
+}
+
+// Allowed reports whether identity holds a presented, valid assertion
+// covering action on resource — the signature expected by
+// nmds.Store.SetAuthorizer.
+func (r *Registry) Allowed(identity, action, resource string) bool {
+	r.mu.Lock()
+	a := r.presented[identity]
+	now := r.clock()
+	r.mu.Unlock()
+	if a == nil {
+		return false
+	}
+	return r.verifier.Check(a, identity, action, resource, now) == nil
+}

@@ -1,0 +1,215 @@
+package cas
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/nmds"
+)
+
+const (
+	alice = "/O=NEES/CN=alice"
+	bob   = "/O=NEES/CN=bob"
+)
+
+func newCAS(t *testing.T) (*Server, *Verifier) {
+	t.Helper()
+	ca, err := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.Issue("/O=NEES/CN=nees-cas", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer("nees", cred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, NewVerifier("nees", cred.Leaf())
+}
+
+func TestRightMatching(t *testing.T) {
+	cases := []struct {
+		right            Right
+		action, resource string
+		want             bool
+	}{
+		{Right{"write", "nmds:data:most/*"}, "write", "nmds:data:most/uiuc", true},
+		{Right{"write", "nmds:data:most/*"}, "write", "nmds:data:mini/x", false},
+		{Right{"write", "nmds:data:most/*"}, "read", "nmds:data:most/uiuc", false},
+		{Right{"*", "nmds:data:most/*"}, "delete", "nmds:data:most/uiuc", true},
+		{Right{"write", "*"}, "write", "anything", true},
+		{Right{"write", "exact"}, "write", "exact", true},
+		{Right{"write", "exact"}, "write", "exact2", false},
+	}
+	for i, c := range cases {
+		if got := c.right.Matches(c.action, c.resource); got != c.want {
+			t.Errorf("case %d: Matches(%q, %q) = %v", i, c.action, c.resource, got)
+		}
+	}
+}
+
+func TestIssueIntersectsWithPolicy(t *testing.T) {
+	srv, ver := newCAS(t)
+	srv.Grant(alice, Right{"write", "nmds:data:most/*"})
+
+	// Everything granted.
+	a, err := srv.Issue(alice, nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Check(a, alice, "write", "nmds:data:most/uiuc", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Requesting within the grant.
+	a, err = srv.Issue(alice, []Right{{"write", "nmds:data:most/uiuc"}}, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Check(a, alice, "write", "nmds:data:most/uiuc", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// The narrowed assertion does not cover siblings.
+	if err := ver.Check(a, alice, "write", "nmds:data:most/cu", time.Now()); err == nil {
+		t.Fatal("narrowed assertion covered an unrequested resource")
+	}
+	// Requesting outside the grant yields nothing.
+	if _, err := srv.Issue(alice, []Right{{"delete", "nmds:data:most/uiuc"}}, time.Hour); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("err = %v", err)
+	}
+	// Unknown identity.
+	if _, err := srv.Issue(bob, nil, time.Hour); !errors.Is(err, ErrNotGranted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	srv, ver := newCAS(t)
+	srv.DefineGroup("most-team", Right{"write", "nmds:data:most/*"})
+	srv.AddMember("most-team", bob)
+	a, err := srv.Issue(bob, nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Check(a, bob, "write", "nmds:data:most/cu", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifierRejections(t *testing.T) {
+	srv, ver := newCAS(t)
+	srv.Grant(alice, Right{"write", "*"})
+	a, _ := srv.Issue(alice, nil, time.Hour)
+
+	// Wrong presenter.
+	if err := ver.Check(a, bob, "write", "x", time.Now()); !errors.Is(err, ErrBadAssertion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Expired.
+	if err := ver.Check(a, alice, "write", "x", time.Now().Add(2*time.Hour)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v", err)
+	}
+	// Tampered rights.
+	tampered := *a
+	tampered.Rights = append([]Right{{"delete", "*"}}, a.Rights...)
+	if err := ver.Check(&tampered, alice, "delete", "x", time.Now()); !errors.Is(err, ErrBadAssertion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Wrong community.
+	other := NewVerifier("other-vo", srv.cred.Leaf())
+	if err := other.Check(a, alice, "write", "x", time.Now()); !errors.Is(err, ErrBadAssertion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Forged signature (signed by a different key).
+	rogueCA, _ := gsi.NewAuthority("/O=Rogue/CN=CA", time.Hour)
+	rogueCred, _ := rogueCA.Issue("/O=Rogue/CN=cas", time.Hour)
+	rogue, _ := NewServer("nees", rogueCred)
+	rogue.Grant(alice, Right{"write", "*"})
+	forged, _ := rogue.Issue(alice, nil, time.Hour)
+	if err := ver.Check(forged, alice, "write", "x", time.Now()); !errors.Is(err, ErrBadAssertion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nil assertion.
+	if err := ver.Verify(nil, time.Now()); !errors.Is(err, ErrBadAssertion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryPresentAndAllowed(t *testing.T) {
+	srv, ver := newCAS(t)
+	srv.Grant(alice, Right{"update", "exp:most*"})
+	reg := NewRegistry(ver)
+
+	a, _ := srv.Issue(alice, nil, time.Hour)
+	if err := reg.Present(a); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Allowed(alice, "update", "exp:most") {
+		t.Fatal("presented assertion not honoured")
+	}
+	if reg.Allowed(alice, "delete", "exp:most") {
+		t.Fatal("unasserted action allowed")
+	}
+	if reg.Allowed(bob, "update", "exp:most") {
+		t.Fatal("identity without assertion allowed")
+	}
+	// Expiry is enforced at check time.
+	now := time.Now()
+	reg.SetClock(func() time.Time { return now.Add(2 * time.Hour) })
+	if reg.Allowed(alice, "update", "exp:most") {
+		t.Fatal("expired assertion still honoured")
+	}
+}
+
+func TestRegistryRejectsBadPresentation(t *testing.T) {
+	srv, ver := newCAS(t)
+	srv.Grant(alice, Right{"update", "*"})
+	a, _ := srv.Issue(alice, nil, time.Hour)
+	a.Subject = bob // tamper
+	reg := NewRegistry(ver)
+	if err := reg.Present(a); err == nil {
+		t.Fatal("tampered assertion accepted")
+	}
+}
+
+// End-to-end: CAS-based access control on the metadata repository — the
+// exact §3.3 "later releases" feature.
+func TestCASAuthorizesNMDSUpdate(t *testing.T) {
+	srv, ver := newCAS(t)
+	store := nmds.NewStore()
+	reg := NewRegistry(ver)
+	store.SetAuthorizer(reg.Allowed)
+
+	// Alice owns the experiment object; bob is not a writer.
+	if _, err := store.Create(alice, "exp:most", "", map[string]any{"name": "MOST"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Update(bob, "exp:most", map[string]any{"name": "X"}); err == nil {
+		t.Fatal("bob updated without authorization")
+	}
+
+	// The community grants the MOST team update rights; bob is a member
+	// and presents his assertion to the repository.
+	srv.DefineGroup("most-team", Right{"update", "exp:most*"})
+	srv.AddMember("most-team", bob)
+	assertion, err := srv.Issue(bob, nil, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Present(assertion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Update(bob, "exp:most", map[string]any{"name": "MOST v2"}); err != nil {
+		t.Fatalf("CAS-authorized update rejected: %v", err)
+	}
+	// Community policy does not extend to other objects.
+	if _, err := store.Create(alice, "other", "", map[string]any{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Update(bob, "other", map[string]any{}); err == nil {
+		t.Fatal("assertion leaked to an uncovered object")
+	}
+}

@@ -1,0 +1,191 @@
+package collab
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler exposes a workspace (and optionally a viewer) over HTTP — the
+// CHEF web interface. Authentication: the session token travels in the
+// X-Session header after /login.
+type Handler struct {
+	WS     *Workspace
+	Viewer *Viewer
+}
+
+// NewHandler builds the HTTP facade.
+func NewHandler(ws *Workspace, viewer *Viewer) *Handler {
+	return &Handler{WS: ws, Viewer: viewer}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func errJSON(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// ServeHTTP routes the CHEF-ish API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/login" && r.Method == http.MethodPost:
+		h.login(w, r)
+	case r.URL.Path == "/logout" && r.Method == http.MethodPost:
+		h.WS.Logout(r.Header.Get("X-Session"))
+		writeJSON(w, 200, map[string]bool{"ok": true})
+	case r.URL.Path == "/presence":
+		writeJSON(w, 200, h.WS.Presence())
+	case r.URL.Path == "/chat" && r.Method == http.MethodPost:
+		h.chatPost(w, r)
+	case r.URL.Path == "/chat" && r.Method == http.MethodGet:
+		h.chatGet(w, r)
+	case r.URL.Path == "/board" && r.Method == http.MethodPost:
+		h.boardPost(w, r)
+	case r.URL.Path == "/board" && r.Method == http.MethodGet:
+		h.boardGet(w, r)
+	case r.URL.Path == "/notebook" && r.Method == http.MethodPost:
+		h.notebookPost(w, r)
+	case r.URL.Path == "/notebook" && r.Method == http.MethodGet:
+		h.notebookGet(w, r)
+	case r.URL.Path == "/viewer/channels":
+		h.viewerChannels(w, r)
+	case r.URL.Path == "/viewer/window":
+		h.viewerWindow(w, r)
+	default:
+		errJSON(w, 404, errNotFound)
+	}
+}
+
+var errNotFound = &collabErr{"not found"}
+
+type collabErr struct{ msg string }
+
+func (e *collabErr) Error() string { return e.msg }
+
+func (h *Handler) login(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		User string `json:"user"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		errJSON(w, 400, err)
+		return
+	}
+	s, err := h.WS.Login(body.User)
+	if err != nil {
+		errJSON(w, 400, err)
+		return
+	}
+	writeJSON(w, 200, map[string]string{"token": s.Token})
+}
+
+func (h *Handler) chatPost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Room string `json:"room"`
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		errJSON(w, 400, err)
+		return
+	}
+	m, err := h.WS.Chat(r.Header.Get("X-Session"), body.Room, body.Text)
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, m)
+}
+
+func (h *Handler) chatGet(w http.ResponseWriter, r *http.Request) {
+	since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+	msgs, err := h.WS.ChatSince(r.Header.Get("X-Session"), r.URL.Query().Get("room"), since)
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, msgs)
+}
+
+func (h *Handler) boardPost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Topic string `json:"topic"`
+		Text  string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		errJSON(w, 400, err)
+		return
+	}
+	m, err := h.WS.PostBoard(r.Header.Get("X-Session"), body.Topic, body.Text)
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, m)
+}
+
+func (h *Handler) boardGet(w http.ResponseWriter, r *http.Request) {
+	msgs, err := h.WS.Board(r.Header.Get("X-Session"))
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, msgs)
+}
+
+func (h *Handler) notebookPost(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Text string `json:"text"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		errJSON(w, 400, err)
+		return
+	}
+	m, err := h.WS.NotebookWrite(r.Header.Get("X-Session"), body.Text)
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, m)
+}
+
+func (h *Handler) notebookGet(w http.ResponseWriter, r *http.Request) {
+	msgs, err := h.WS.Notebook(r.Header.Get("X-Session"))
+	if err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	writeJSON(w, 200, msgs)
+}
+
+func (h *Handler) viewerChannels(w http.ResponseWriter, r *http.Request) {
+	if _, err := h.WS.auth(r.Header.Get("X-Session")); err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	if h.Viewer == nil {
+		errJSON(w, 404, errNotFound)
+		return
+	}
+	writeJSON(w, 200, h.Viewer.Channels())
+}
+
+func (h *Handler) viewerWindow(w http.ResponseWriter, r *http.Request) {
+	if _, err := h.WS.auth(r.Header.Get("X-Session")); err != nil {
+		errJSON(w, 401, err)
+		return
+	}
+	if h.Viewer == nil {
+		errJSON(w, 404, errNotFound)
+		return
+	}
+	q := r.URL.Query()
+	from, _ := strconv.ParseFloat(q.Get("from"), 64)
+	to, err := strconv.ParseFloat(q.Get("to"), 64)
+	if err != nil || to <= from {
+		to = from + 1e18 // open-ended window
+	}
+	writeJSON(w, 200, h.Viewer.Window(q.Get("channel"), from, to))
+}

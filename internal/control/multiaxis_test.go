@@ -1,0 +1,148 @@
+package control
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"neesgrid/internal/core"
+	"neesgrid/internal/structural"
+)
+
+func TestSixDOFRigApply(t *testing.T) {
+	rig := NewSixDOFRig("uminn", quietActuator(), 1000, 500)
+	if rig.NDOF() != 6 {
+		t.Fatalf("NDOF = %d", rig.NDOF())
+	}
+	d := []float64{0.01, -0.02, 0.005, 0.001, -0.001, 0.002}
+	f, err := rig.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, -20, 5, 0.5, -0.5, 1}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 0.2 {
+			t.Fatalf("axis %d force = %g, want ~%g", i, f[i], want[i])
+		}
+	}
+}
+
+func TestMultiAxisDimensionCheck(t *testing.T) {
+	rig := NewSixDOFRig("uminn", quietActuator(), 1000, 500)
+	if _, err := rig.Apply([]float64{1, 2}); err == nil {
+		t.Fatal("wrong axis count accepted")
+	}
+}
+
+func TestMultiAxisCoupling(t *testing.T) {
+	rig := NewMultiAxisRig("coupled", quietActuator(), []structural.Element{
+		structural.NewLinearElastic(1000), structural.NewLinearElastic(1000),
+	})
+	kc := structural.NewMatrix(2, 2)
+	kc.Set(0, 1, 200)
+	kc.Set(1, 0, 200)
+	if err := rig.SetCoupling(kc); err != nil {
+		t.Fatal(err)
+	}
+	f, err := rig.Apply([]float64{0.01, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Axis 0: 1000*0.01 + 200*0.02 = 14; axis 1: 1000*0.02 + 200*0.01 = 22.
+	if math.Abs(f[0]-14) > 0.2 || math.Abs(f[1]-22) > 0.2 {
+		t.Fatalf("coupled forces = %v", f)
+	}
+	bad := structural.NewMatrix(3, 3)
+	if err := rig.SetCoupling(bad); err == nil {
+		t.Fatal("wrong coupling shape accepted")
+	}
+}
+
+func TestMultiAxisInterlockSharedAcrossAxes(t *testing.T) {
+	cfg := quietActuator()
+	rig := NewSixDOFRig("uminn", cfg, 1000, 500)
+	// Axis 2 beyond stroke trips the shared interlock.
+	d := []float64{0, 0, 1.0, 0, 0, 0}
+	if _, err := rig.Apply(d); err == nil {
+		t.Fatal("over-stroke axis accepted")
+	}
+	if _, err := rig.Apply(make([]float64, 6)); err == nil {
+		t.Fatal("tripped rig accepted new commands")
+	}
+	rig.Interlock().Clear()
+	if _, err := rig.Apply(make([]float64, 6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiAxisResetAndPositions(t *testing.T) {
+	rig := NewSixDOFRig("uminn", quietActuator(), 1000, 500)
+	_, _ = rig.Apply([]float64{0.01, 0.01, 0.01, 0, 0, 0})
+	if err := rig.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range rig.Positions() {
+		if math.Abs(p) > 1e-6 {
+			t.Fatalf("axis %d position %g after reset", i, p)
+		}
+	}
+}
+
+// The 6-DOF rig behind NTCP: a multi-DOF control point served by the same
+// generic server — what the UMinn experiment needed from the framework.
+func TestSixDOFRigBehindNTCP(t *testing.T) {
+	rig := NewSixDOFRig("uminn", quietActuator(), 1000, 500)
+	plug := &core.SubstructurePlugin{Point: "specimen", NDOF: 6, Apply: rig.Apply}
+	srv := core.NewServer(plug, &core.SitePolicy{PointLimits: map[string]core.Limits{
+		"specimen": {MaxDisplacement: 0.1},
+	}}, core.ServerOptions{})
+	ctx := context.Background()
+	rec, err := srv.Propose(ctx, "uminn-coord", &core.Proposal{
+		Name: "sixdof-1",
+		Actions: []core.Action{{
+			ControlPoint:  "specimen",
+			Displacements: []float64{0.01, 0, 0.005, 0.001, 0, 0},
+		}},
+	})
+	if err != nil || rec.State != core.StateAccepted {
+		t.Fatalf("propose: %+v, %v", rec, err)
+	}
+	rec, err = srv.Execute(ctx, "uminn-coord", "sixdof-1")
+	if err != nil || rec.State != core.StateExecuted {
+		t.Fatalf("execute: %+v, %v", rec, err)
+	}
+	if len(rec.Results[0].Forces) != 6 {
+		t.Fatalf("forces = %v", rec.Results[0].Forces)
+	}
+	// Policy screens every DOF of a multi-DOF action.
+	rec, _ = srv.Propose(ctx, "uminn-coord", &core.Proposal{
+		Name: "sixdof-big",
+		Actions: []core.Action{{
+			ControlPoint:  "specimen",
+			Displacements: []float64{0, 0, 0, 0, 0.5, 0},
+		}},
+	})
+	if rec.State != core.StateRejected {
+		t.Fatal("oversized rotational DOF accepted")
+	}
+}
+
+// Two-DOF distributed model: a two-story shear frame with one substructure
+// per story, exercising the coordinator's multi-DOF gather/scatter.
+func TestTwoStoryAssemblyWithMultiAxisRig(t *testing.T) {
+	// Story stiffnesses via a 2-axis rig bound to both global DOFs.
+	rig := NewMultiAxisRig("stories", quietActuator(), []structural.Element{
+		structural.NewLinearElastic(2000), structural.NewLinearElastic(1500),
+	})
+	a, err := structural.NewAssembly(2, structural.Binding{Sub: rig, DOFs: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.Restore([]float64{0.01, 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f[0]-20) > 0.5 || math.Abs(f[1]-30) > 0.5 {
+		t.Fatalf("forces = %v", f)
+	}
+}

@@ -1,0 +1,256 @@
+package control
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Shore-Western emulation: at UIUC, the NTCP plugin spoke "a simple TCP/IP
+// protocol" to a Shore-Western control system driving the servo-hydraulics
+// (paper §3.1). This file implements both ends of such a protocol:
+//
+//	MOVE <pos>   → OK <achieved> | ERR <reason>
+//	READ         → OK <pos> <force>
+//	STOP         → OK stopped            (trips the interlock)
+//	RESET        → OK reset              (re-zeros the rig)
+//	CLEAR        → OK cleared            (re-arms the interlock)
+//	PING         → OK pong
+//
+// One command per line; responses are single lines.
+
+// ShoreWesternServer serves the control protocol for one rig.
+type ShoreWesternServer struct {
+	rig *Rig
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewShoreWesternServer wraps a rig.
+func NewShoreWesternServer(rig *Rig) *ShoreWesternServer {
+	return &ShoreWesternServer{rig: rig}
+}
+
+// Start listens on addr and serves until Close. Returns the bound address.
+func (s *ShoreWesternServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("control: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *ShoreWesternServer) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *ShoreWesternServer) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		resp := s.handle(line)
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ShoreWesternServer) handle(line string) string {
+	fields := strings.Fields(line)
+	switch strings.ToUpper(fields[0]) {
+	case "PING":
+		return "OK pong"
+	case "MOVE":
+		if len(fields) != 2 {
+			return "ERR MOVE needs one position argument"
+		}
+		target, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return "ERR bad position: " + err.Error()
+		}
+		forces, err := s.rig.Apply([]float64{target})
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		_ = forces
+		return fmt.Sprintf("OK %g", s.rig.actuator.Position())
+	case "READ":
+		return fmt.Sprintf("OK %g %g", s.rig.actuator.Position(), s.rig.actuator.Force())
+	case "STOP":
+		s.rig.Interlock().Trip("operator stop")
+		return "OK stopped"
+	case "RESET":
+		_ = s.rig.Reset()
+		return "OK reset"
+	case "CLEAR":
+		s.rig.Interlock().Clear()
+		return "OK cleared"
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+// ShoreWesternClient is the plugin-side client of the control protocol.
+// Safe for sequential use; the NTCP plugin serializes commands.
+type ShoreWesternClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rw   *bufio.ReadWriter
+	addr string
+	// Dial overrides the dialer (fault injection); nil means net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// NewShoreWesternClient creates a client for the controller at addr; the
+// connection is established lazily and re-established after failures.
+func NewShoreWesternClient(addr string) *ShoreWesternClient {
+	return &ShoreWesternClient{addr: addr}
+}
+
+func (c *ShoreWesternClient) ensure() error {
+	if c.conn != nil {
+		return nil
+	}
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("control: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.rw = bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	return nil
+}
+
+// Close drops the connection.
+func (c *ShoreWesternClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one command line and reads one response line, dropping
+// the connection on error so the next call redials.
+func (c *ShoreWesternClient) roundTrip(cmd string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensure(); err != nil {
+		return "", err
+	}
+	if _, err := c.rw.WriteString(cmd + "\n"); err != nil {
+		c.drop()
+		return "", fmt.Errorf("control: send: %w", err)
+	}
+	if err := c.rw.Flush(); err != nil {
+		c.drop()
+		return "", fmt.Errorf("control: flush: %w", err)
+	}
+	line, err := c.rw.ReadString('\n')
+	if err != nil {
+		c.drop()
+		return "", fmt.Errorf("control: recv: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("control: controller: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return "", fmt.Errorf("control: malformed response %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
+}
+
+func (c *ShoreWesternClient) drop() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Move commands a position and returns the achieved position.
+func (c *ShoreWesternClient) Move(pos float64) (float64, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("MOVE %g", pos))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(resp, 64)
+}
+
+// Read returns position and force.
+func (c *ShoreWesternClient) Read() (pos, force float64, err error) {
+	resp, err := c.roundTrip("READ")
+	if err != nil {
+		return 0, 0, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("control: malformed READ response %q", resp)
+	}
+	pos, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	force, err = strconv.ParseFloat(fields[1], 64)
+	return pos, force, err
+}
+
+// Stop trips the controller's interlock.
+func (c *ShoreWesternClient) Stop() error {
+	_, err := c.roundTrip("STOP")
+	return err
+}
+
+// Reset re-zeros the rig.
+func (c *ShoreWesternClient) Reset() error {
+	_, err := c.roundTrip("RESET")
+	return err
+}
+
+// Clear re-arms the interlock.
+func (c *ShoreWesternClient) Clear() error {
+	_, err := c.roundTrip("CLEAR")
+	return err
+}
+
+// Ping checks liveness.
+func (c *ShoreWesternClient) Ping() error {
+	_, err := c.roundTrip("PING")
+	return err
+}

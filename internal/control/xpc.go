@@ -1,0 +1,136 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// XPCTarget emulates the CU configuration of Fig. 9: a target machine
+// running a real-time OS that owns the servo loop, driven asynchronously by
+// a host application. Commands are posted to a mailbox; the target applies
+// them on its own cycle; the host polls status until the move settles —
+// the same decoupled command/poll pattern the Matlab xPC feature provided.
+type XPCTarget struct {
+	rig *Rig
+
+	mu       sync.Mutex
+	target   float64
+	pending  bool
+	settled  bool
+	lastPos  float64
+	lastFrc  float64
+	lastErr  error
+	applied  int
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	running  bool
+}
+
+// NewXPCTarget wraps a rig.
+func NewXPCTarget(rig *Rig) *XPCTarget {
+	return &XPCTarget{rig: rig, settled: true}
+}
+
+// Start launches the real-time loop with the given cycle period.
+func (x *XPCTarget) Start(period time.Duration) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.running {
+		return
+	}
+	x.running = true
+	x.stopCh = make(chan struct{})
+	x.stopOnce = sync.Once{}
+	go x.loop(period)
+}
+
+// Stop halts the loop.
+func (x *XPCTarget) Stop() {
+	x.mu.Lock()
+	ch := x.stopCh
+	x.running = false
+	x.mu.Unlock()
+	if ch != nil {
+		x.stopOnce.Do(func() { close(ch) })
+	}
+}
+
+func (x *XPCTarget) loop(period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			x.Cycle()
+		case <-x.stopCh:
+			return
+		}
+	}
+}
+
+// Cycle runs one real-time cycle: if a command is pending, apply it through
+// the rig. Exposed so tests can drive the target deterministically without
+// the ticker.
+func (x *XPCTarget) Cycle() {
+	x.mu.Lock()
+	if !x.pending {
+		x.mu.Unlock()
+		return
+	}
+	target := x.target
+	x.pending = false
+	x.mu.Unlock()
+
+	forces, err := x.rig.Apply([]float64{target})
+
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.applied++
+	x.settled = true
+	x.lastErr = err
+	if err == nil {
+		x.lastPos = target
+		x.lastFrc = forces[0]
+	}
+}
+
+// SetTarget posts a new position command; the loop applies it on its next
+// cycle.
+func (x *XPCTarget) SetTarget(pos float64) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.target = pos
+	x.pending = true
+	x.settled = false
+	x.lastErr = nil
+}
+
+// Status returns the latest settled measurement.
+func (x *XPCTarget) Status() (settled bool, pos, force float64, err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.settled, x.lastPos, x.lastFrc, x.lastErr
+}
+
+// WaitSettled polls until the pending command completes or timeout elapses.
+func (x *XPCTarget) WaitSettled(timeout time.Duration) (pos, force float64, err error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		settled, p, f, e := x.Status()
+		if settled {
+			return p, f, e
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("control: xpc target did not settle within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Applied reports how many commands the target executed.
+func (x *XPCTarget) Applied() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.applied
+}

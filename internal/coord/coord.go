@@ -1,0 +1,369 @@
+// Package coord implements the MOST Simulation Coordinator (paper Fig. 5):
+// the component that "repeatedly issues a set of NTCP proposals based on
+// current simulation state, collects information about the resulting state
+// of all the substructures, and, based on that resulting state, computes the
+// next set of NTCP commands to send", handling exceptions such as lost
+// network connections along the way.
+//
+// The coordinator embeds the MS-PSDS method: a structural integrator
+// (internal/structural) computes target displacements each step; the
+// restoring forces come back from distributed substructures through
+// propose → execute NTCP transactions. Transaction names are deterministic
+// ("step-<n>/<site>"), so retries after network failures dedupe server-side
+// and no action is ever applied twice.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"neesgrid/internal/core"
+	"neesgrid/internal/structural"
+)
+
+// Site is one experiment site: an NTCP endpoint hosting one substructure.
+type Site struct {
+	// Name identifies the site ("uiuc", "ncsa", "cu").
+	Name string
+	// Client is the NTCP client for the site (carries its retry policy).
+	Client *core.Client
+	// ControlPoint is the control point name at the site.
+	ControlPoint string
+	// DOFs maps the substructure's local DOFs to global model DOFs.
+	DOFs []int
+}
+
+// Config parameterizes a distributed pseudo-dynamic run.
+type Config struct {
+	// M, C, K are the numerical matrices of the equation of motion (K is
+	// the initial stiffness, required by the α-OS integrator).
+	M, C, K *structural.Matrix
+	// Integrator advances the equation of motion. Nil selects explicit
+	// Newmark.
+	Integrator structural.Integrator
+	// Dt and Steps define the grid (MOST: 0.01 s × 1500).
+	Dt    float64
+	Steps int
+	// Ground returns üg at a step index.
+	Ground func(step int) float64
+	// Iota is the influence vector (defaults to ones).
+	Iota []float64
+	// StepTimeout bounds one whole distributed step (all sites). Zero
+	// means 60 s.
+	StepTimeout time.Duration
+	// OnStep observes each committed state (streaming, ingestion, UI).
+	OnStep func(structural.State)
+	// RunID prefixes transaction names so re-runs against long-lived
+	// servers do not collide. Empty means "run".
+	RunID string
+	// FastPath uses the combined proposeAndExecute operation (§5 NTCP
+	// performance work): one round trip per site per step instead of two.
+	// The trade-off is the loss of the cross-site accept barrier — a site
+	// rejecting a step can no longer prevent the other sites from having
+	// executed theirs — so it is appropriate for rehearsed near-real-time
+	// experiments whose proposals are known to satisfy site policy.
+	FastPath bool
+}
+
+// Report summarizes a run — the material of §3.4.
+type Report struct {
+	// StepsCompleted is the number of integration steps committed.
+	StepsCompleted int
+	// Completed is true when every requested step committed.
+	Completed bool
+	// FailedStep is the step at which the run aborted (0 if completed).
+	FailedStep int
+	// Err is the terminal error (nil if completed).
+	Err error
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Recovered is the total number of calls that succeeded only after
+	// retries — the "several transient network failures" counter.
+	Recovered int
+	// Retries is the total number of retry attempts across all sites.
+	Retries int
+}
+
+// Coordinator drives one distributed hybrid experiment.
+type Coordinator struct {
+	cfg   Config
+	sites []Site
+}
+
+// New validates the topology and returns a coordinator.
+func New(cfg Config, sites ...Site) (*Coordinator, error) {
+	if cfg.M == nil {
+		return nil, fmt.Errorf("coord: mass matrix required")
+	}
+	if cfg.Dt <= 0 || cfg.Steps <= 0 {
+		return nil, fmt.Errorf("coord: positive dt and steps required")
+	}
+	if cfg.Ground == nil {
+		return nil, fmt.Errorf("coord: ground motion required")
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("coord: at least one site required")
+	}
+	n := cfg.M.Rows
+	seen := make(map[string]bool)
+	for _, s := range sites {
+		if s.Client == nil {
+			return nil, fmt.Errorf("coord: site %q has no client", s.Name)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("coord: duplicate site %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.DOFs) == 0 {
+			return nil, fmt.Errorf("coord: site %q maps no DOFs", s.Name)
+		}
+		for _, g := range s.DOFs {
+			if g < 0 || g >= n {
+				return nil, fmt.Errorf("coord: site %q maps out-of-range DOF %d", s.Name, g)
+			}
+		}
+	}
+	if cfg.StepTimeout <= 0 {
+		cfg.StepTimeout = 60 * time.Second
+	}
+	if cfg.RunID == "" {
+		cfg.RunID = "run"
+	}
+	if cfg.Integrator == nil {
+		cfg.Integrator = structural.NewExplicitNewmark()
+	}
+	return &Coordinator{cfg: cfg, sites: sites}, nil
+}
+
+// siteOutcome is one site's response to a step.
+type siteOutcome struct {
+	site int
+	rec  *core.Record
+	err  error
+}
+
+// stepError wraps a step failure with its step number.
+type stepError struct {
+	step int
+	err  error
+}
+
+func (e *stepError) Error() string { return fmt.Sprintf("step %d: %v", e.step, e.err) }
+func (e *stepError) Unwrap() error { return e.err }
+
+// restore performs one distributed restoring-force evaluation: propose to
+// every site, and if all accept, execute everywhere and gather forces.
+// On any rejection the sibling transactions are cancelled (the negotiation
+// behaviour §2.1 calls out).
+func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]float64, error) {
+	n := len(d)
+	stepCtx, cancel := context.WithTimeout(ctx, c.cfg.StepTimeout)
+	defer cancel()
+
+	if c.cfg.FastPath {
+		return c.restoreFast(stepCtx, *step, d, n)
+	}
+
+	// Phase 1: propose everywhere in parallel.
+	proposals := make([]*core.Proposal, len(c.sites))
+	outcomes := make([]siteOutcome, len(c.sites))
+	var wg sync.WaitGroup
+	for i, s := range c.sites {
+		local := make([]float64, len(s.DOFs))
+		for j, g := range s.DOFs {
+			local[j] = d[g]
+		}
+		proposals[i] = &core.Proposal{
+			Name: fmt.Sprintf("%s/step-%d/%s", c.cfg.RunID, *step, s.Name),
+			Actions: []core.Action{{
+				ControlPoint:  s.ControlPoint,
+				Displacements: local,
+			}},
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := c.sites[i].Client.Propose(stepCtx, proposals[i])
+			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var rejected *siteOutcome
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("site %s propose: %w", c.sites[o.site].Name, o.err)
+		}
+		if o.rec.State == core.StateRejected && rejected == nil {
+			rejected = o
+		}
+	}
+	if rejected != nil {
+		// Cancel accepted siblings before reporting the rejection.
+		for i := range outcomes {
+			if i != rejected.site && outcomes[i].rec.State == core.StateAccepted {
+				_, _ = c.sites[i].Client.Cancel(stepCtx, proposals[i].Name)
+			}
+		}
+		return nil, fmt.Errorf("site %s rejected proposal: %s: %w",
+			c.sites[rejected.site].Name, rejected.rec.Error, core.ErrRejected)
+	}
+
+	// Phase 2: execute everywhere in parallel.
+	for i := range c.sites {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := c.sites[i].Client.Execute(stepCtx, proposals[i].Name)
+			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	forces := make([]float64, n)
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("site %s execute: %w", c.sites[o.site].Name, o.err)
+		}
+		if o.rec.State != core.StateExecuted {
+			return nil, fmt.Errorf("site %s transaction %s: %s: %w",
+				c.sites[o.site].Name, o.rec.Name, o.rec.Error, core.ErrFailed)
+		}
+		s := c.sites[o.site]
+		if len(o.rec.Results) != 1 || len(o.rec.Results[0].Forces) != len(s.DOFs) {
+			return nil, fmt.Errorf("site %s returned malformed results", s.Name)
+		}
+		for j, g := range s.DOFs {
+			forces[g] += o.rec.Results[0].Forces[j]
+		}
+	}
+	return forces, nil
+}
+
+// restoreFast is the single-round-trip variant of restore: every site gets
+// one proposeAndExecute call. Rejections and failures still abort the step.
+func (c *Coordinator) restoreFast(ctx context.Context, step int, d []float64, n int) ([]float64, error) {
+	outcomes := make([]siteOutcome, len(c.sites))
+	var wg sync.WaitGroup
+	for i, s := range c.sites {
+		local := make([]float64, len(s.DOFs))
+		for j, g := range s.DOFs {
+			local[j] = d[g]
+		}
+		p := &core.Proposal{
+			Name: fmt.Sprintf("%s/step-%d/%s", c.cfg.RunID, step, s.Name),
+			Actions: []core.Action{{
+				ControlPoint:  s.ControlPoint,
+				Displacements: local,
+			}},
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec, err := c.sites[i].Client.RunFast(ctx, p)
+			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	forces := make([]float64, n)
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil {
+			return nil, fmt.Errorf("site %s fast step: %w", c.sites[o.site].Name, o.err)
+		}
+		s := c.sites[o.site]
+		if len(o.rec.Results) != 1 || len(o.rec.Results[0].Forces) != len(s.DOFs) {
+			return nil, fmt.Errorf("site %s returned malformed results", s.Name)
+		}
+		for j, g := range s.DOFs {
+			forces[g] += o.rec.Results[0].Forces[j]
+		}
+	}
+	return forces, nil
+}
+
+// Run executes the distributed experiment and returns the response history
+// and a run report. The history contains every committed step even when the
+// run aborts early (the E2 experiment inspects exactly that).
+func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, error) {
+	start := time.Now()
+	n := c.cfg.M.Rows
+	iota := c.cfg.Iota
+	if iota == nil {
+		iota = structural.Ones(n)
+	}
+	step := 0
+	sys := &structural.System{
+		M: c.cfg.M,
+		C: c.cfg.C,
+		K: c.cfg.K,
+		R: func(d []float64) ([]float64, error) {
+			return c.restore(ctx, &step, d)
+		},
+	}
+	report := &Report{}
+	finish := func(err error, failedStep int) (*structural.History, *Report, error) {
+		report.Elapsed = time.Since(start)
+		report.Err = err
+		report.Completed = err == nil
+		report.FailedStep = failedStep
+		for _, s := range c.sites {
+			st := s.Client.Stats()
+			report.Recovered += st.Recovered
+			report.Retries += st.Retries
+		}
+		return nil, report, err
+	}
+
+	d0 := make([]float64, n)
+	v0 := make([]float64, n)
+	st, err := c.cfg.Integrator.Init(sys, c.cfg.Dt, d0, v0,
+		structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(0)))
+	if err != nil {
+		_, rep, err := finish(&stepError{step: 0, err: err}, 0)
+		return nil, rep, err
+	}
+	hist := structural.NewHistory(n, c.cfg.Steps)
+	hist.Record(st)
+	if c.cfg.OnStep != nil {
+		c.cfg.OnStep(st)
+	}
+
+	for s := 1; s <= c.cfg.Steps; s++ {
+		step = s
+		st, err = c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
+		if err != nil {
+			_, rep, ferr := finish(&stepError{step: s, err: err}, s)
+			_ = ferr
+			rep.StepsCompleted = s - 1
+			return hist, rep, &stepError{step: s, err: err}
+		}
+		hist.Record(st)
+		report.StepsCompleted = s
+		if c.cfg.OnStep != nil {
+			c.cfg.OnStep(st)
+		}
+	}
+	_, rep, _ := finish(nil, 0)
+	rep.StepsCompleted = c.cfg.Steps
+	return hist, rep, nil
+}
+
+// IsRejection reports whether a run error came from a site policy
+// rejection.
+func IsRejection(err error) bool { return errors.Is(err, core.ErrRejected) }
+
+// StepOf extracts the failing step from a run error (0 if unknown).
+func StepOf(err error) int {
+	var se *stepError
+	if errors.As(err, &se) {
+		return se.step
+	}
+	return 0
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"neesgrid/internal/ogsi"
+)
+
+// RetryPolicy controls the client side of NTCP fault tolerance: how many
+// times a request is re-sent across transient failures. Because the server
+// deduplicates by transaction name, retries are safe — the same action is
+// never executed twice.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request (1 = no retry).
+	Attempts int
+	// Backoff is the delay before the first retry; it doubles per retry.
+	Backoff time.Duration
+	// MaxBackoff caps the growing delay.
+	MaxBackoff time.Duration
+}
+
+// DefaultRetry is the fault-tolerant profile used by MOST-class
+// coordinators.
+var DefaultRetry = RetryPolicy{Attempts: 5, Backoff: 50 * time.Millisecond, MaxBackoff: 2 * time.Second}
+
+// NoRetry disables retries — the configuration the public MOST run's
+// coordinator effectively had ("the simulation coordinator had not been
+// coded to take advantage of all the fault-tolerance features"), which is
+// why a final network error ended the experiment at step 1493.
+var NoRetry = RetryPolicy{Attempts: 1}
+
+func (r RetryPolicy) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+func (r RetryPolicy) delay(retry int) time.Duration {
+	d := r.Backoff
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	for i := 0; i < retry; i++ {
+		d *= 2
+		if r.MaxBackoff > 0 && d > r.MaxBackoff {
+			return r.MaxBackoff
+		}
+	}
+	if r.MaxBackoff > 0 && d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	return d
+}
+
+// ClientStats counts client activity, including how many transient failures
+// the retry loop recovered from — the number §3.4 reports qualitatively
+// ("several transient network failures").
+type ClientStats struct {
+	Calls     int
+	Retries   int
+	Recovered int // calls that ultimately succeeded after ≥1 retry
+}
+
+// Client drives a remote NTCP server. Safe for concurrent use.
+type Client struct {
+	og *ogsi.Client
+	// ServiceName defaults to "ntcp".
+	ServiceName string
+	Retry       RetryPolicy
+
+	mu    sync.Mutex
+	stats ClientStats
+}
+
+// NewClient wraps an OGSI client as an NTCP client.
+func NewClient(og *ogsi.Client, retry RetryPolicy) *Client {
+	return &Client{og: og, ServiceName: "ntcp", Retry: retry}
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// transient reports whether an error is worth retrying: transport failures
+// and "still executing" backpressure are; service faults (policy
+// rejections, conflicts, unknown names) are not.
+func transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *ogsi.RemoteError
+	if errors.As(err, &re) {
+		return re.Code == ogsi.CodeUnavailable
+	}
+	return true // transport-level failure
+}
+
+// call performs one operation under the retry policy.
+func (c *Client) call(ctx context.Context, op string, params any) (*Record, error) {
+	var lastErr error
+	attempts := c.Retry.attempts()
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			c.mu.Lock()
+			c.stats.Retries++
+			c.mu.Unlock()
+			select {
+			case <-time.After(c.Retry.delay(try - 1)):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("ntcp: %s: %w (last error: %v)", op, ctx.Err(), lastErr)
+			}
+		}
+		c.mu.Lock()
+		c.stats.Calls++
+		c.mu.Unlock()
+		var rec Record
+		err := c.og.Call(ctx, c.ServiceName, op, params, &rec)
+		if err == nil {
+			if try > 0 {
+				c.mu.Lock()
+				c.stats.Recovered++
+				c.mu.Unlock()
+			}
+			return &rec, nil
+		}
+		lastErr = err
+		if !transient(err) || ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("ntcp: %s failed after %d attempts: %w", op, attempts, lastErr)
+}
+
+// Propose submits a proposal and returns the resulting record (accepted or
+// rejected).
+func (c *Client) Propose(ctx context.Context, p *Proposal) (*Record, error) {
+	return c.call(ctx, "propose", p)
+}
+
+// Execute runs an accepted transaction and returns the record with results
+// (state executed) or the failure record (state failed).
+func (c *Client) Execute(ctx context.Context, name string) (*Record, error) {
+	return c.call(ctx, "execute", nameParams{Name: name})
+}
+
+// Cancel aborts an accepted transaction.
+func (c *Client) Cancel(ctx context.Context, name string) (*Record, error) {
+	return c.call(ctx, "cancel", nameParams{Name: name})
+}
+
+// Get fetches a transaction record without side effects.
+func (c *Client) Get(ctx context.Context, name string) (*Record, error) {
+	return c.call(ctx, "get", nameParams{Name: name})
+}
+
+// ErrRejected is returned by Run when the proposal is rejected.
+var ErrRejected = errors.New("ntcp: proposal rejected")
+
+// ErrFailed is returned by Run when execution fails.
+var ErrFailed = errors.New("ntcp: execution failed")
+
+// Run is the full propose→execute cycle one MS-PSDS step performs against
+// one site. On rejection it returns the record joined with ErrRejected so
+// the coordinator can cancel sibling transactions at other sites.
+func (c *Client) Run(ctx context.Context, p *Proposal) (*Record, error) {
+	rec, err := c.Propose(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	switch rec.State {
+	case StateRejected:
+		return rec, fmt.Errorf("%w: %s", ErrRejected, rec.Error)
+	case StateAccepted:
+	case StateExecuted:
+		return rec, nil // deduplicated replay of a finished transaction
+	case StateFailed:
+		return rec, fmt.Errorf("%w: %s", ErrFailed, rec.Error)
+	default:
+		// Executing or another transient state: fall through to Execute,
+		// which waits for the outcome.
+	}
+	rec, err = c.Execute(ctx, p.Name)
+	if err != nil {
+		return rec, err
+	}
+	if rec.State == StateFailed {
+		return rec, fmt.Errorf("%w: %s", ErrFailed, rec.Error)
+	}
+	return rec, nil
+}

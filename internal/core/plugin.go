@@ -1,0 +1,85 @@
+package core
+
+import (
+	"context"
+	"fmt"
+)
+
+// Plugin is the NTCP control plugin interface (Fig. 2): the site-supplied
+// component that maps generic NTCP actions onto the local control system or
+// simulation engine. The core NTCP server handles everything generic —
+// transaction state, at-most-once semantics, policy, SDE publication — and
+// delegates exactly two domain decisions to the plugin: "is this action
+// acceptable here?" and "do it".
+type Plugin interface {
+	// Validate is consulted at proposal time. Returning an error rejects
+	// the proposal before any action takes place — the negotiation step
+	// that lets a client discover whether a request would violate local
+	// policy or damage equipment.
+	Validate(ctx context.Context, actions []Action) error
+	// Execute applies the actions to the local control system or
+	// simulation and returns one result per action. It is called at most
+	// once per transaction.
+	Execute(ctx context.Context, actions []Action) ([]Result, error)
+}
+
+// PluginFunc adapts a bare execute function into a Plugin that accepts all
+// proposals.
+type PluginFunc func(ctx context.Context, actions []Action) ([]Result, error)
+
+// Validate accepts every proposal.
+func (f PluginFunc) Validate(context.Context, []Action) error { return nil }
+
+// Execute invokes f.
+func (f PluginFunc) Execute(ctx context.Context, actions []Action) ([]Result, error) {
+	return f(ctx, actions)
+}
+
+// SubstructurePlugin drives any structural.Substructure-shaped back end —
+// the simplest useful plugin, and the one that makes a numerical simulation
+// look exactly like a rig to NTCP clients. MOST's incremental bring-up
+// ("first a distributed simulation-only experiment, then replace
+// simulations with physical substructures") is this plugin being swapped
+// for a rig-backed one with no coordinator change.
+type SubstructurePlugin struct {
+	// Point is the control point name this plugin serves.
+	Point string
+	// Apply imposes displacements and returns measured forces.
+	Apply func(d []float64) ([]float64, error)
+	// NDOF is the number of DOFs of the control point.
+	NDOF int
+}
+
+// Validate rejects actions for unknown control points or mismatched DOF
+// counts.
+func (p *SubstructurePlugin) Validate(_ context.Context, actions []Action) error {
+	for _, a := range actions {
+		if a.ControlPoint != p.Point {
+			return fmt.Errorf("unknown control point %q (have %q)", a.ControlPoint, p.Point)
+		}
+		if len(a.Displacements) != p.NDOF {
+			return fmt.Errorf("control point %q has %d dofs, action has %d", p.Point, p.NDOF, len(a.Displacements))
+		}
+	}
+	return nil
+}
+
+// Execute applies each action through Apply.
+func (p *SubstructurePlugin) Execute(ctx context.Context, actions []Action) ([]Result, error) {
+	results := make([]Result, len(actions))
+	for i, a := range actions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		forces, err := p.Apply(a.Displacements)
+		if err != nil {
+			return nil, fmt.Errorf("control point %q: %w", a.ControlPoint, err)
+		}
+		results[i] = Result{
+			ControlPoint:  a.ControlPoint,
+			Displacements: append([]float64(nil), a.Displacements...),
+			Forces:        forces,
+		}
+	}
+	return results, nil
+}

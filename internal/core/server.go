@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"neesgrid/internal/ogsi"
+)
+
+// ServerOptions tunes an NTCP server.
+type ServerOptions struct {
+	// ServiceName is the OGSI service name; defaults to "ntcp".
+	ServiceName string
+	// DefaultExecuteTimeout bounds plugin execution when the proposal does
+	// not specify one. Defaults to 30 s.
+	DefaultExecuteTimeout time.Duration
+	// DefaultTTL is the soft-state lifetime of a transaction record.
+	// Defaults to 1 h.
+	DefaultTTL time.Duration
+	// Clock overrides the time source (tests).
+	Clock func() time.Time
+}
+
+func (o *ServerOptions) fill() {
+	if o.ServiceName == "" {
+		o.ServiceName = "ntcp"
+	}
+	if o.DefaultExecuteTimeout <= 0 {
+		o.DefaultExecuteTimeout = 30 * time.Second
+	}
+	if o.DefaultTTL <= 0 {
+		o.DefaultTTL = time.Hour
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
+// Stats counts server activity; published as the "stats" SDE.
+type Stats struct {
+	Proposed      int `json:"proposed"`
+	Accepted      int `json:"accepted"`
+	Rejected      int `json:"rejected"`
+	Executed      int `json:"executed"`
+	Failed        int `json:"failed"`
+	Cancelled     int `json:"cancelled"`
+	DedupedReplay int `json:"deduped_replays"` // retries answered from the transaction table
+}
+
+// Server is the core NTCP server of Fig. 2: generic transaction management
+// in front of a site-supplied control plugin.
+type Server struct {
+	opts   ServerOptions
+	plugin Plugin
+	policy *SitePolicy
+	svc    *ogsi.Service
+
+	mu      sync.Mutex
+	txs     map[string]*transaction
+	lastPos map[string][]float64
+	stats   Stats
+}
+
+type transaction struct {
+	rec  *Record
+	done chan struct{} // closed when execution reaches a terminal state
+}
+
+// NewServer builds an NTCP server over the given plugin and site policy
+// (policy may be nil for an unrestricted site).
+func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
+	opts.fill()
+	s := &Server{
+		opts:    opts,
+		plugin:  plugin,
+		policy:  policy,
+		txs:     make(map[string]*transaction),
+		lastPos: make(map[string][]float64),
+	}
+	s.svc = ogsi.NewService(opts.ServiceName)
+	s.svc.SDEs.SetClock(opts.Clock)
+	s.svc.Lifetimes.SetClock(opts.Clock)
+	s.registerOps()
+	return s
+}
+
+// Service exposes the underlying OGSI service for container registration.
+func (s *Server) Service() *ogsi.Service { return s.svc }
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func txSDE(name string) string { return "tx:" + name }
+
+func (s *Server) publish(rec *Record) {
+	_ = s.svc.SDEs.Set(txSDE(rec.Name), rec)
+	_ = s.svc.SDEs.Set("last-transaction", rec.Name)
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	_ = s.svc.SDEs.Set("stats", st)
+}
+
+// Propose handles a proposal with at-most-once semantics: a name already in
+// the transaction table is answered from the table, whatever its state.
+func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Record, error) {
+	if err := p.Validate(); err != nil {
+		return nil, ogsi.Errf(ogsi.CodeBadRequest, "%v", err)
+	}
+	s.mu.Lock()
+	if tx, ok := s.txs[p.Name]; ok {
+		s.stats.DedupedReplay++
+		rec := tx.rec.clone()
+		s.mu.Unlock()
+		return rec, nil
+	}
+	now := s.opts.Clock()
+	rec := &Record{
+		Name:       p.Name,
+		State:      StateProposed,
+		Actions:    append([]Action(nil), p.Actions...),
+		Timeout:    p.ExecuteTimeoutSeconds,
+		Client:     client,
+		Timestamps: map[TxState]time.Time{StateProposed: now},
+	}
+	tx := &transaction{rec: rec}
+	s.txs[p.Name] = tx
+	s.stats.Proposed++
+	lastSnapshot := make(map[string][]float64, len(s.lastPos))
+	for k, v := range s.lastPos {
+		lastSnapshot[k] = v
+	}
+	s.mu.Unlock()
+
+	// Validation happens outside the lock: policy first, then plugin.
+	verdict := s.policy.Check(client, p.Actions, lastSnapshot)
+	if verdict == nil {
+		verdict = s.plugin.Validate(ctx, p.Actions)
+	}
+
+	s.mu.Lock()
+	if verdict != nil {
+		rec.State = StateRejected
+		rec.Error = verdict.Error()
+		rec.Timestamps[StateRejected] = s.opts.Clock()
+		s.stats.Rejected++
+	} else {
+		rec.State = StateAccepted
+		rec.Timestamps[StateAccepted] = s.opts.Clock()
+		s.stats.Accepted++
+	}
+	out := rec.clone()
+	s.mu.Unlock()
+
+	ttl := s.opts.DefaultTTL
+	if p.TTLSeconds > 0 {
+		ttl = time.Duration(p.TTLSeconds * float64(time.Second))
+	}
+	s.svc.Lifetimes.Register(p.Name, ttl, func() { s.expire(p.Name) })
+	s.publish(rec)
+	return out, nil
+}
+
+// expire removes a transaction whose soft-state lifetime lapsed.
+func (s *Server) expire(name string) {
+	s.mu.Lock()
+	tx, ok := s.txs[name]
+	if ok && tx.rec.State == StateExecuting {
+		// Never reap a transaction mid-execution; it re-registers on
+		// completion via publish and will be swept on a later pass.
+		s.mu.Unlock()
+		s.svc.Lifetimes.Register(name, s.opts.DefaultTTL, func() { s.expire(name) })
+		return
+	}
+	delete(s.txs, name)
+	s.mu.Unlock()
+	s.svc.SDEs.Delete(txSDE(name))
+}
+
+// Execute runs an accepted transaction at most once. Concurrent or retried
+// Execute calls for the same name wait for (or pick up) the single
+// execution's outcome.
+func (s *Server) Execute(ctx context.Context, client, name string) (*Record, error) {
+	s.mu.Lock()
+	tx, ok := s.txs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+	}
+	rec := tx.rec
+	if rec.Client != client {
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
+	}
+	switch rec.State {
+	case StateExecuted, StateFailed:
+		s.stats.DedupedReplay++
+		out := rec.clone()
+		s.mu.Unlock()
+		return out, nil
+	case StateRejected, StateCancelled:
+		st := rec.State
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeConflict, "transaction %q is %s", name, st)
+	case StateExecuting:
+		done := tx.done
+		s.stats.DedupedReplay++
+		s.mu.Unlock()
+		select {
+		case <-done:
+			s.mu.Lock()
+			out := rec.clone()
+			s.mu.Unlock()
+			return out, nil
+		case <-ctx.Done():
+			return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
+		}
+	case StateAccepted:
+		rec.State = StateExecuting
+		rec.Timestamps[StateExecuting] = s.opts.Clock()
+		tx.done = make(chan struct{})
+		done := tx.done
+		actions := append([]Action(nil), rec.Actions...)
+		timeout := s.opts.DefaultExecuteTimeout
+		if rec.Timeout > 0 {
+			timeout = time.Duration(rec.Timeout * float64(time.Second))
+		}
+		s.mu.Unlock()
+		s.publish(rec)
+
+		// Execution deliberately detaches from the request context: once
+		// an action starts against a physical rig it completes (or fails)
+		// regardless of whether the requesting connection survives, and a
+		// retry collects the cached outcome — the at-most-once contract.
+		go s.runExecution(name, actions, timeout, done)
+
+		select {
+		case <-done:
+			s.mu.Lock()
+			out := rec.clone()
+			s.mu.Unlock()
+			return out, nil
+		case <-ctx.Done():
+			return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
+		}
+	default:
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeInternal, "transaction %q in unexpected state %s", name, rec.State)
+	}
+}
+
+func (s *Server) runExecution(name string, actions []Action, timeout time.Duration, done chan struct{}) {
+	defer close(done)
+	execCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	results, err := s.plugin.Execute(execCtx, actions)
+
+	s.mu.Lock()
+	tx, ok := s.txs[name]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	rec := tx.rec
+	now := s.opts.Clock()
+	if err != nil {
+		rec.State = StateFailed
+		rec.Error = err.Error()
+		rec.Timestamps[StateFailed] = now
+		s.stats.Failed++
+	} else {
+		rec.State = StateExecuted
+		rec.Results = results
+		rec.Timestamps[StateExecuted] = now
+		s.stats.Executed++
+		for _, r := range results {
+			s.lastPos[r.ControlPoint] = append([]float64(nil), r.Displacements...)
+		}
+	}
+	s.mu.Unlock()
+	s.publish(rec)
+}
+
+// Cancel aborts an accepted transaction before execution. Cancelling an
+// already-cancelled or rejected transaction is an idempotent no-op;
+// cancelling one that is executing or executed is a conflict (physical
+// actions cannot be undone — paper §2.1).
+func (s *Server) Cancel(_ context.Context, client, name string) (*Record, error) {
+	s.mu.Lock()
+	tx, ok := s.txs[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+	}
+	rec := tx.rec
+	if rec.Client != client {
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
+	}
+	switch rec.State {
+	case StateAccepted:
+		rec.State = StateCancelled
+		rec.Timestamps[StateCancelled] = s.opts.Clock()
+		s.stats.Cancelled++
+		out := rec.clone()
+		s.mu.Unlock()
+		s.publish(rec)
+		return out, nil
+	case StateCancelled, StateRejected:
+		out := rec.clone()
+		s.mu.Unlock()
+		return out, nil
+	default:
+		st := rec.State
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeConflict, "cannot cancel transaction %q in state %s", name, st)
+	}
+}
+
+// Get returns a transaction record.
+func (s *Server) Get(name string) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, ok := s.txs[name]
+	if !ok {
+		return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+	}
+	return tx.rec.clone(), nil
+}
+
+// wire types for the service operations.
+type nameParams struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) registerOps() {
+	s.svc.RegisterOp("propose", func(ctx context.Context, caller ogsi.Caller, params json.RawMessage) (any, error) {
+		var p Proposal
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, ogsi.Errf(ogsi.CodeBadRequest, "bad proposal: %v", err)
+		}
+		return s.Propose(ctx, caller.Identity, &p)
+	})
+	s.svc.RegisterOp("execute", func(ctx context.Context, caller ogsi.Caller, params json.RawMessage) (any, error) {
+		var p nameParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, ogsi.Errf(ogsi.CodeBadRequest, "bad execute params: %v", err)
+		}
+		return s.Execute(ctx, caller.Identity, p.Name)
+	})
+	s.svc.RegisterOp("cancel", func(ctx context.Context, caller ogsi.Caller, params json.RawMessage) (any, error) {
+		var p nameParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, ogsi.Errf(ogsi.CodeBadRequest, "bad cancel params: %v", err)
+		}
+		return s.Cancel(ctx, caller.Identity, p.Name)
+	})
+	s.registerFastPathOp()
+	s.svc.RegisterOp("get", func(_ context.Context, _ ogsi.Caller, params json.RawMessage) (any, error) {
+		var p nameParams
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, ogsi.Errf(ogsi.CodeBadRequest, "bad get params: %v", err)
+		}
+		return s.Get(p.Name)
+	})
+}
+
+// String describes the server briefly.
+func (s *Server) String() string {
+	return fmt.Sprintf("ntcp server %q", s.opts.ServiceName)
+}

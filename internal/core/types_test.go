@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransactionStateMachine(t *testing.T) {
+	// E4: the legal transitions of Fig. 1, exhaustively.
+	legal := []struct{ from, to TxState }{
+		{StateProposed, StateAccepted},
+		{StateProposed, StateRejected},
+		{StateAccepted, StateExecuting},
+		{StateAccepted, StateCancelled},
+		{StateExecuting, StateExecuted},
+		{StateExecuting, StateFailed},
+	}
+	for _, tr := range legal {
+		if !CanTransition(tr.from, tr.to) {
+			t.Errorf("transition %s -> %s should be legal", tr.from, tr.to)
+		}
+	}
+	illegal := []struct{ from, to TxState }{
+		{StateProposed, StateExecuting}, // must be accepted first
+		{StateProposed, StateExecuted},
+		{StateRejected, StateAccepted}, // terminal states admit nothing
+		{StateRejected, StateExecuting},
+		{StateExecuted, StateExecuting},
+		{StateCancelled, StateExecuting},
+		{StateFailed, StateExecuting},
+		{StateExecuting, StateCancelled}, // physical actions cannot be undone
+		{StateAccepted, StateExecuted},   // cannot skip executing
+		{StateExecuted, StateProposed},
+	}
+	for _, tr := range illegal {
+		if CanTransition(tr.from, tr.to) {
+			t.Errorf("transition %s -> %s should be illegal", tr.from, tr.to)
+		}
+	}
+}
+
+func TestTerminalStates(t *testing.T) {
+	for _, s := range []TxState{StateRejected, StateExecuted, StateCancelled, StateFailed} {
+		if !s.Terminal() {
+			t.Errorf("%s should be terminal", s)
+		}
+	}
+	for _, s := range []TxState{StateProposed, StateAccepted, StateExecuting} {
+		if s.Terminal() {
+			t.Errorf("%s should not be terminal", s)
+		}
+	}
+}
+
+// Property: no transition ever leaves a terminal state.
+func TestNoTransitionFromTerminalProperty(t *testing.T) {
+	states := []TxState{StateProposed, StateAccepted, StateRejected,
+		StateExecuting, StateExecuted, StateCancelled, StateFailed}
+	f := func(i, j uint8) bool {
+		from := states[int(i)%len(states)]
+		to := states[int(j)%len(states)]
+		if from.Terminal() && CanTransition(from, to) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposalValidate(t *testing.T) {
+	ok := &Proposal{Name: "t1", Actions: []Action{{ControlPoint: "cp", Displacements: []float64{0.01}}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Proposal{
+		{Actions: []Action{{ControlPoint: "cp", Displacements: []float64{1}}}}, // no name
+		{Name: "t"}, // no actions
+		{Name: "t", Actions: []Action{{Displacements: []float64{1}}}},                                      // no control point
+		{Name: "t", Actions: []Action{{ControlPoint: "cp"}}},                                               // no displacements
+		{Name: "t", Actions: []Action{{ControlPoint: "cp", Displacements: []float64{1}, HoldSeconds: -1}}}, // negative hold
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := &Record{
+		Name:       "t",
+		State:      StateExecuted,
+		Actions:    []Action{{ControlPoint: "cp", Displacements: []float64{1}}},
+		Results:    []Result{{ControlPoint: "cp", Forces: []float64{2}}},
+		Timestamps: map[TxState]time.Time{StateExecuted: time.Unix(5, 0)},
+	}
+	c := r.clone()
+	c.Actions[0].ControlPoint = "other"
+	c.Results[0].Forces[0] = 99 // note: inner slices are shared; header copy only
+	c.Timestamps[StateFailed] = time.Unix(9, 0)
+	if r.Actions[0].ControlPoint != "cp" {
+		t.Fatal("clone shares the actions slice")
+	}
+	if _, leaked := r.Timestamps[StateFailed]; leaked {
+		t.Fatal("clone shares the timestamps map")
+	}
+}

@@ -1,0 +1,240 @@
+// Package faultnet emulates the wide-area network between experiment sites:
+// added latency, jitter, and — crucially for reproducing the MOST public run
+// — transient and fatal network failures injected on a deterministic
+// schedule. The paper's §3.4 result ("the fault tolerance features of NTCP
+// enabled the simulation to detect and recover from several transient
+// network failures throughout the day; … a final network error caused the
+// simulation to terminate prematurely" at step 1493) is reproduced by
+// driving NTCP client traffic through this package.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Profile describes steady-state WAN behaviour.
+type Profile struct {
+	// Latency is the one-way delay added to every request.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate is the probability a call fails with a transport error.
+	DropRate float64
+	// Seed makes jitter and random drops deterministic.
+	Seed int64
+}
+
+// LAN is a near-zero profile.
+var LAN = Profile{}
+
+// WAN2003 approximates the 2003 Illinois–Colorado Internet2 path: ~40 ms
+// round trip with mild jitter.
+var WAN2003 = Profile{Latency: 20 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: 2003}
+
+// Injector produces transport errors on demand. It is shared between the
+// experiment harness (which schedules faults) and the transports it wraps.
+type Injector struct {
+	mu       sync.Mutex
+	profile  Profile
+	rng      *rand.Rand
+	failNext int
+	outage   bool
+	calls    int
+	injected int
+}
+
+// NewInjector builds an injector over a profile.
+func NewInjector(p Profile) *Injector {
+	return &Injector{profile: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// FailNext makes the next n calls fail with a transport error — a transient
+// outage if the client retries past it, fatal if it does not.
+func (in *Injector) FailNext(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failNext += n
+}
+
+// SetOutage switches a hard outage on or off: every call fails until
+// cleared (a network partition).
+func (in *Injector) SetOutage(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.outage = on
+}
+
+// Calls returns how many calls passed through the injector.
+func (in *Injector) Calls() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls
+}
+
+// Injected returns how many transport errors the injector produced.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// next decides the fate of one call: the delay to apply and whether to fail.
+func (in *Injector) next() (time.Duration, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls++
+	delay := in.profile.Latency
+	if in.profile.Jitter > 0 {
+		delay += time.Duration(in.rng.Int63n(int64(in.profile.Jitter)))
+	}
+	fail := in.outage
+	if !fail && in.failNext > 0 {
+		in.failNext--
+		fail = true
+	}
+	if !fail && in.profile.DropRate > 0 && in.rng.Float64() < in.profile.DropRate {
+		fail = true
+	}
+	if fail {
+		in.injected++
+		return delay, &NetError{Op: "faultnet", Msg: "injected network failure"}
+	}
+	return delay, nil
+}
+
+// NetError is the transport error faultnet injects. It satisfies net.Error
+// so HTTP clients treat it as a genuine network failure.
+type NetError struct {
+	Op  string
+	Msg string
+}
+
+func (e *NetError) Error() string   { return fmt.Sprintf("%s: %s", e.Op, e.Msg) }
+func (e *NetError) Timeout() bool   { return true }
+func (e *NetError) Temporary() bool { return true }
+
+var _ net.Error = (*NetError)(nil)
+
+// Transport wraps an http.RoundTripper with the injector: every round trip
+// pays the WAN latency and may be failed by schedule, partition, or random
+// drop. Wrap the ogsi client's HTTP transport with this to put a site
+// "behind the WAN".
+type Transport struct {
+	Injector *Injector
+	Inner    http.RoundTripper
+}
+
+// NewTransport builds a faulty transport over http.DefaultTransport.
+func NewTransport(in *Injector) *Transport {
+	return &Transport{Injector: in, Inner: http.DefaultTransport}
+}
+
+// RoundTrip applies delay and scheduled failures before delegating.
+func (t *Transport) RoundTrip(r *http.Request) (*http.Response, error) {
+	delay, err := t.Injector.next()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+			return nil, r.Context().Err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	inner := t.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(r)
+}
+
+// Client returns an *http.Client whose calls traverse the injector.
+func Client(in *Injector) *http.Client {
+	return &http.Client{Transport: NewTransport(in)}
+}
+
+// ---------------------------------------------------------------------------
+// Stream-level injection for raw TCP substrates (NSDS, GridFTP, control
+// links).
+// ---------------------------------------------------------------------------
+
+// Conn wraps a net.Conn, applying per-operation latency and allowing a
+// scheduled mid-stream cut.
+type Conn struct {
+	net.Conn
+	injector *Injector
+
+	mu  sync.Mutex
+	cut bool
+}
+
+// WrapConn attaches an injector to a connection.
+func WrapConn(c net.Conn, in *Injector) *Conn {
+	return &Conn{Conn: c, injector: in}
+}
+
+// Cut severs the connection: subsequent reads and writes fail and the
+// underlying conn is closed.
+func (c *Conn) Cut() {
+	c.mu.Lock()
+	c.cut = true
+	c.mu.Unlock()
+	_ = c.Conn.Close()
+}
+
+func (c *Conn) gate() error {
+	c.mu.Lock()
+	cut := c.cut
+	c.mu.Unlock()
+	if cut {
+		return &NetError{Op: "faultnet", Msg: "connection cut"}
+	}
+	delay, err := c.injector.next()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// Read applies the injector then reads.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write applies the injector then writes.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer dials TCP connections that traverse an injector.
+type Dialer struct {
+	Injector *Injector
+}
+
+// Dial connects and wraps the connection.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	delay, err := d.Injector.next()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, d.Injector), nil
+}

@@ -1,0 +1,197 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestInjectorFailNext(t *testing.T) {
+	in := NewInjector(LAN)
+	in.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := in.next(); err == nil {
+			t.Fatalf("call %d should fail", i)
+		}
+	}
+	if _, err := in.next(); err != nil {
+		t.Fatalf("call 3 should pass: %v", err)
+	}
+	if in.Injected() != 2 || in.Calls() != 3 {
+		t.Fatalf("counters = %d/%d", in.Injected(), in.Calls())
+	}
+}
+
+func TestInjectorOutage(t *testing.T) {
+	in := NewInjector(LAN)
+	in.SetOutage(true)
+	for i := 0; i < 3; i++ {
+		if _, err := in.next(); err == nil {
+			t.Fatal("outage should fail every call")
+		}
+	}
+	in.SetOutage(false)
+	if _, err := in.next(); err != nil {
+		t.Fatal("cleared outage should pass")
+	}
+}
+
+func TestInjectorDropRateDeterministic(t *testing.T) {
+	p := Profile{DropRate: 0.5, Seed: 42}
+	run := func() []bool {
+		in := NewInjector(p)
+		out := make([]bool, 100)
+		for i := range out {
+			_, err := in.next()
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("drop sequence not deterministic")
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 70 {
+		t.Fatalf("drop count %d implausible for rate 0.5", drops)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	in := NewInjector(Profile{Latency: 10 * time.Millisecond})
+	d, err := in.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10*time.Millisecond {
+		t.Fatalf("delay = %v", d)
+	}
+}
+
+func TestNetErrorInterface(t *testing.T) {
+	var err net.Error = &NetError{Op: "x", Msg: "y"}
+	if !err.Timeout() || err.Error() != "x: y" {
+		t.Fatalf("NetError = %v", err)
+	}
+}
+
+func TestTransportInjection(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+
+	in := NewInjector(LAN)
+	cl := Client(in)
+	resp, err := cl.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+
+	in.FailNext(1)
+	if _, err := cl.Get(srv.URL); err == nil {
+		t.Fatal("injected failure not surfaced")
+	}
+	var ne *NetError
+	resp, err = cl.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("post-failure call should pass: %v", err)
+	}
+	_ = resp.Body.Close()
+	_ = ne
+}
+
+func TestTransportHonorsContextDuringDelay(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {}))
+	defer srv.Close()
+	in := NewInjector(Profile{Latency: 5 * time.Second})
+	cl := Client(in)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err := cl.Do(req)
+	if err == nil {
+		t.Fatal("expected context timeout")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("delay ignored context cancellation")
+	}
+}
+
+func TestConnCutAndDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	in := NewInjector(LAN)
+	d := &Dialer{Injector: in}
+	conn, err := d.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+
+	fc := conn.(*Conn)
+	fc.Cut()
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("write after cut should fail")
+	}
+	var ne *NetError
+	_, err = conn.Read(buf)
+	if !errors.As(err, &ne) {
+		t.Fatalf("read after cut = %v, want NetError", err)
+	}
+}
+
+func TestDialerInjectedFailure(t *testing.T) {
+	in := NewInjector(LAN)
+	in.FailNext(1)
+	d := &Dialer{Injector: in}
+	if _, err := d.Dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("injected dial failure missing")
+	}
+}

@@ -1,0 +1,307 @@
+package gridftp
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Client transfers files against one server.
+type Client struct {
+	Addr string
+	// BlockSize overrides the transfer block size.
+	BlockSize int
+	// Dial overrides the dialer (fault injection); nil means net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+
+	nextID atomic.Int64
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	dial := c.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	return dial("tcp", c.Addr)
+}
+
+func (c *Client) block() int {
+	if c.BlockSize > 0 {
+		return c.BlockSize
+	}
+	return DefaultBlockSize
+}
+
+// roundTrip opens a connection, sends a header, reads the response, and
+// returns the open connection for any following binary phase.
+func (c *Client) roundTrip(req *request) (net.Conn, *response, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, nil, fmt.Errorf("gridftp: dial %s: %w", c.Addr, err)
+	}
+	if err := sendJSON(conn, req); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("gridftp: send: %w", err)
+	}
+	var resp response
+	if err := recvJSON(conn, &resp); err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("gridftp: recv: %w", err)
+	}
+	if !resp.OK {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("gridftp: server: %s", resp.Error)
+	}
+	return conn, &resp, nil
+}
+
+// Stat returns size and CRC of a remote file.
+func (c *Client) Stat(remotePath string) (size int64, crc uint32, err error) {
+	conn, resp, err := c.roundTrip(&request{Op: "stat", Path: remotePath})
+	if err != nil {
+		return 0, 0, err
+	}
+	_ = conn.Close()
+	return resp.Size, resp.CRC, nil
+}
+
+// Get downloads a remote file into localPath using `streams` parallel
+// range-striped connections, then verifies the CRC.
+func (c *Client) Get(remotePath, localPath string, streams int) error {
+	if streams < 1 {
+		streams = 1
+	}
+	size, wantCRC, err := c.Stat(remotePath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(localPath)
+	if err != nil {
+		return fmt.Errorf("gridftp: create %s: %w", localPath, err)
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("gridftp: truncate: %w", err)
+	}
+	// Split into `streams` contiguous ranges.
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	chunk := (size + int64(streams) - 1) / int64(streams)
+	for i := 0; i < streams; i++ {
+		off := int64(i) * chunk
+		if off >= size {
+			break
+		}
+		length := chunk
+		if off+length > size {
+			length = size - off
+		}
+		wg.Add(1)
+		go func(i int, off, length int64) {
+			defer wg.Done()
+			errs[i] = c.getRange(remotePath, f, off, length)
+		}(i, off, length)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	if h.Sum32() != wantCRC {
+		return fmt.Errorf("gridftp: download crc mismatch: got %08x want %08x", h.Sum32(), wantCRC)
+	}
+	return nil
+}
+
+func (c *Client) getRange(remotePath string, f *os.File, off, length int64) error {
+	conn, resp, err := c.roundTrip(&request{Op: "get-data", Path: remotePath, Offset: off, Length: length})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, 64<<10)
+	remaining := resp.Size
+	pos := off
+	for remaining > 0 {
+		n := int64(len(buf))
+		if n > remaining {
+			n = remaining
+		}
+		read, err := io.ReadFull(conn, buf[:n])
+		if err != nil {
+			return fmt.Errorf("gridftp: range read: %w", err)
+		}
+		if _, err := f.WriteAt(buf[:read], pos); err != nil {
+			return err
+		}
+		pos += int64(read)
+		remaining -= int64(read)
+	}
+	return nil
+}
+
+// Put uploads localPath to remotePath using `streams` striped connections
+// and commits with a CRC check. Interrupted uploads can be resumed with
+// Resume using the same transfer id; Put generates a fresh id.
+func (c *Client) Put(localPath, remotePath string, streams int) error {
+	id := fmt.Sprintf("put-%d-%d", os.Getpid(), c.nextID.Add(1))
+	return c.put(localPath, remotePath, id, streams, nil)
+}
+
+// Resume continues an interrupted upload under a caller-chosen transfer id,
+// skipping blocks the server already holds.
+func (c *Client) Resume(localPath, remotePath, transferID string, streams int) error {
+	return c.put(localPath, remotePath, transferID, streams, nil)
+}
+
+// PutWithID uploads under a caller-chosen transfer id, with an optional
+// per-block hook the fault-injection tests use to kill streams mid-flight.
+func (c *Client) PutWithID(localPath, remotePath, transferID string, streams int, onBlock func(block int) error) error {
+	return c.put(localPath, remotePath, transferID, streams, onBlock)
+}
+
+func (c *Client) put(localPath, remotePath, id string, streams int, onBlock func(int) error) error {
+	if streams < 1 {
+		streams = 1
+	}
+	f, err := os.Open(localPath)
+	if err != nil {
+		return fmt.Errorf("gridftp: open %s: %w", localPath, err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	bs := c.block()
+
+	// Init (idempotent): learn which blocks the server already has.
+	conn, resp, err := c.roundTrip(&request{
+		Op: "put-init", ID: id, Path: remotePath, Size: size, Block: bs, Streams: streams,
+	})
+	if err != nil {
+		return err
+	}
+	_ = conn.Close()
+	have := make(map[int]bool, len(resp.Received))
+	for _, b := range resp.Received {
+		have[b] = true
+	}
+
+	blocks := int((size + int64(bs) - 1) / int64(bs))
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(stripe int) {
+			defer wg.Done()
+			errs[stripe] = c.putStripe(f, id, stripe, streams, blocks, bs, size, have, onBlock)
+		}(s)
+	}
+	wg.Wait()
+	var streamErr error
+	for _, err := range errs {
+		if err != nil {
+			streamErr = err
+			break
+		}
+	}
+	if streamErr != nil {
+		return fmt.Errorf("gridftp: upload stream: %w", streamErr)
+	}
+
+	// Commit with CRC.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	conn, _, err = c.roundTrip(&request{Op: "put-commit", ID: id, CRC: h.Sum32()})
+	if err != nil {
+		return err
+	}
+	_ = conn.Close()
+	return nil
+}
+
+func (c *Client) putStripe(f *os.File, id string, stripe, streams, blocks, bs int, size int64, have map[int]bool, onBlock func(int) error) error {
+	conn, _, err := c.roundTrip(&request{Op: "put-data", ID: id, Stripe: stripe})
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := make([]byte, bs)
+	for b := stripe; b < blocks; b += streams {
+		if have[b] {
+			continue
+		}
+		if onBlock != nil {
+			if err := onBlock(b); err != nil {
+				return err
+			}
+		}
+		off := int64(b) * int64(bs)
+		n := int64(bs)
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		if err := writeBlockHeader(conn, blockHeader{Offset: off, Length: int32(n)}); err != nil {
+			return err
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	// End-of-stripe marker; wait for the server to acknowledge that every
+	// block of this stream is applied before the caller commits.
+	if err := writeBlockHeader(conn, blockHeader{}); err != nil {
+		return err
+	}
+	var ack response
+	if err := recvJSON(conn, &ack); err != nil {
+		return fmt.Errorf("gridftp: stripe ack: %w", err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("gridftp: stripe rejected: %s", ack.Error)
+	}
+	return nil
+}
+
+// Status queries the restart marker of an in-progress upload.
+func (c *Client) Status(transferID string) ([]int, error) {
+	conn, resp, err := c.roundTrip(&request{Op: "put-status", ID: transferID})
+	if err != nil {
+		return nil, err
+	}
+	_ = conn.Close()
+	return resp.Received, nil
+}
+
+// FXP asks the server to push remotePath to dstPath on the server at
+// dstAddr — GridFTP third-party transfer.
+func (c *Client) FXP(remotePath, dstAddr, dstPath string) error {
+	conn, _, err := c.roundTrip(&request{Op: "fxp", Path: remotePath, DstAddr: dstAddr, DstPath: dstPath})
+	if err != nil {
+		return err
+	}
+	_ = conn.Close()
+	return nil
+}

@@ -1,0 +1,63 @@
+package gridftp
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// Property: any file of any size survives a striped put+get round trip
+// bit-for-bit, across varying block sizes and stream counts.
+func TestRoundTripProperty(t *testing.T) {
+	root := t.TempDir()
+	srv, err := NewServer(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	scratch := t.TempDir()
+	iteration := 0
+	f := func(seed int64, sizeRaw uint16, streamsRaw, blockRaw uint8) bool {
+		iteration++
+		rng := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw) // 0..65535 bytes
+		streams := 1 + int(streamsRaw)%6
+		block := 512 * (1 + int(blockRaw)%8)
+
+		data := make([]byte, size)
+		rng.Read(data)
+		src := filepath.Join(scratch, "src")
+		if err := os.WriteFile(src, data, 0o644); err != nil {
+			return false
+		}
+		cl := &Client{Addr: addr, BlockSize: block}
+		remote := filepath.Join("prop", "f")
+		// Unique remote path per iteration (server keeps finished files).
+		remote = filepath.Join(remote, string(rune('a'+iteration%26)), "x")
+		if err := cl.Put(src, remote, streams); err != nil {
+			t.Logf("put(size=%d streams=%d block=%d): %v", size, streams, block, err)
+			return false
+		}
+		dst := filepath.Join(scratch, "dst")
+		if err := cl.Get(remote, dst, streams); err != nil {
+			t.Logf("get: %v", err)
+			return false
+		}
+		got, err := os.ReadFile(dst)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

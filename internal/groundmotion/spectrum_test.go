@@ -1,0 +1,96 @@
+package groundmotion
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpectrumOfHarmonicRecordPeaksAtForcingPeriod(t *testing.T) {
+	// A 1 Hz harmonic record must produce a resonance peak at T = 1 s.
+	rec := HarmonicRecord("h", 0.01, 20, 1.0, 1.0)
+	periods := LinSpace(0.2, 2.0, 37)
+	s, err := ResponseSpectrum(rec, 0.05, periods)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.PeakPeriod(); math.Abs(got-1.0) > 0.11 {
+		t.Fatalf("predominant period = %g, want ~1.0", got)
+	}
+}
+
+func TestSpectrumPseudoRelations(t *testing.T) {
+	rec := HarmonicRecord("h", 0.01, 5, 1.0, 1.0)
+	s, err := ResponseSpectrum(rec, 0.05, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range s.Periods {
+		w := 2 * math.Pi / p
+		if math.Abs(s.Sv[i]-w*s.Sd[i]) > 1e-12 || math.Abs(s.Sa[i]-w*w*s.Sd[i]) > 1e-9 {
+			t.Fatalf("pseudo relations violated at T=%g", p)
+		}
+	}
+}
+
+func TestSpectrumDampingReducesResponse(t *testing.T) {
+	rec, err := Generate(ElCentroLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	periods := []float64{0.3, 0.5, 1.0}
+	light, _ := ResponseSpectrum(rec, 0.02, periods)
+	heavy, _ := ResponseSpectrum(rec, 0.20, periods)
+	for i := range periods {
+		if heavy.Sd[i] >= light.Sd[i] {
+			t.Fatalf("T=%g: 20%% damping response %g >= 2%% response %g",
+				periods[i], heavy.Sd[i], light.Sd[i])
+		}
+	}
+}
+
+func TestElCentroLikeSpectrumExcitesMOSTBand(t *testing.T) {
+	// The synthetic record must be a plausible design motion for the MOST
+	// frame (T ≈ 0.5 s): spectral acceleration there should amplify the
+	// PGA, as real El Centro-class motions do for short-period structures.
+	rec, err := Generate(ElCentroLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ResponseSpectrum(rec, 0.05, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amplification := s.Sa[0] / rec.PGA()
+	if amplification < 1.0 || amplification > 5.0 {
+		t.Fatalf("Sa(0.5s)/PGA = %g, want 1..5", amplification)
+	}
+}
+
+func TestSpectrumValidation(t *testing.T) {
+	rec := HarmonicRecord("h", 0.01, 1, 1, 1)
+	if _, err := ResponseSpectrum(nil, 0.05, []float64{1}); err == nil {
+		t.Fatal("nil record accepted")
+	}
+	if _, err := ResponseSpectrum(rec, -0.1, []float64{1}); err == nil {
+		t.Fatal("negative damping accepted")
+	}
+	if _, err := ResponseSpectrum(rec, 0.05, nil); err == nil {
+		t.Fatal("empty periods accepted")
+	}
+	if _, err := ResponseSpectrum(rec, 0.05, []float64{0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestLinSpace(t *testing.T) {
+	got := LinSpace(1, 3, 5)
+	want := []float64{1, 1.5, 2, 2.5, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("LinSpace = %v", got)
+		}
+	}
+	if one := LinSpace(2, 9, 1); len(one) != 1 || one[0] != 2 {
+		t.Fatalf("degenerate LinSpace = %v", one)
+	}
+}

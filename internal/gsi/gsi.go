@@ -1,0 +1,301 @@
+// Package gsi implements a Grid Security Infrastructure in the style used by
+// NEESgrid: certificate-based mutual authentication, short-lived delegated
+// proxy credentials, message-level signatures, and gridmap authorization
+// mapping Grid identities to site-local accounts.
+//
+// The paper's deployment used X.509/GSI from the Globus Toolkit. This
+// package keeps the trust *model* — a chain CA → identity → proxy → proxy…,
+// validated against a set of trusted CAs, with proxies carrying limited
+// lifetimes — while using Ed25519 signatures over a canonical JSON encoding
+// instead of ASN.1/X.509, which keeps the implementation self-contained and
+// auditable (see DESIGN.md §2 for the substitution rationale).
+package gsi
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Errors returned by chain verification and signing.
+var (
+	ErrExpired       = errors.New("gsi: credential expired or not yet valid")
+	ErrUntrusted     = errors.New("gsi: chain does not terminate at a trusted CA")
+	ErrBadSignature  = errors.New("gsi: signature verification failed")
+	ErrBadChain      = errors.New("gsi: malformed credential chain")
+	ErrNotAuthorized = errors.New("gsi: identity not authorized")
+)
+
+// Certificate binds a subject name to a public key, signed by its issuer.
+// Proxy certificates (IsProxy) extend their issuer's subject with a
+// "/proxy" component, exactly mirroring GSI proxy naming.
+type Certificate struct {
+	Subject   string            `json:"subject"`
+	Issuer    string            `json:"issuer"`
+	PublicKey ed25519.PublicKey `json:"public_key"`
+	NotBefore time.Time         `json:"not_before"`
+	NotAfter  time.Time         `json:"not_after"`
+	IsCA      bool              `json:"is_ca"`
+	IsProxy   bool              `json:"is_proxy"`
+	Signature []byte            `json:"signature"`
+}
+
+// tbs returns the canonical "to be signed" encoding of the certificate.
+func (c *Certificate) tbs() []byte {
+	cc := *c
+	cc.Signature = nil
+	b, err := json.Marshal(&cc)
+	if err != nil {
+		panic(fmt.Sprintf("gsi: certificate encoding: %v", err)) // cannot fail for this type
+	}
+	return b
+}
+
+// ValidAt reports whether now falls within the certificate validity window.
+func (c *Certificate) ValidAt(now time.Time) bool {
+	return !now.Before(c.NotBefore) && !now.After(c.NotAfter)
+}
+
+// Credential is a private key together with its certificate chain, leaf
+// first, ending at (but not including) the CA certificate.
+type Credential struct {
+	Chain []*Certificate
+	Key   ed25519.PrivateKey
+}
+
+// Leaf returns the end-entity certificate of the credential.
+func (c *Credential) Leaf() *Certificate {
+	if len(c.Chain) == 0 {
+		return nil
+	}
+	return c.Chain[0]
+}
+
+// Identity returns the base Grid identity — the leaf subject with proxy
+// components stripped — e.g. "/O=NEES/CN=coordinator".
+func (c *Credential) Identity() string {
+	leaf := c.Leaf()
+	if leaf == nil {
+		return ""
+	}
+	return BaseIdentity(leaf.Subject)
+}
+
+// BaseIdentity strips trailing "/proxy" components from a subject name.
+func BaseIdentity(subject string) string {
+	for strings.HasSuffix(subject, "/proxy") {
+		subject = strings.TrimSuffix(subject, "/proxy")
+	}
+	return subject
+}
+
+// Authority is a certificate authority: the root of a trust domain
+// ("virtual organization" in Grid terms).
+type Authority struct {
+	Name string
+	Cert *Certificate
+	key  ed25519.PrivateKey
+}
+
+// NewAuthority creates a self-signed CA, valid for the given duration from
+// now.
+func NewAuthority(name string, validity time.Duration) (*Authority, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate CA key: %w", err)
+	}
+	now := time.Now()
+	cert := &Certificate{
+		Subject:   name,
+		Issuer:    name,
+		PublicKey: pub,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  now.Add(validity),
+		IsCA:      true,
+	}
+	cert.Signature = ed25519.Sign(priv, cert.tbs())
+	return &Authority{Name: name, Cert: cert, key: priv}, nil
+}
+
+// Issue creates an identity credential for subject, valid for the given
+// duration.
+func (a *Authority) Issue(subject string, validity time.Duration) (*Credential, error) {
+	if strings.Contains(subject, "/proxy") {
+		return nil, fmt.Errorf("gsi: subject %q may not contain proxy components", subject)
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate key: %w", err)
+	}
+	now := time.Now()
+	cert := &Certificate{
+		Subject:   subject,
+		Issuer:    a.Name,
+		PublicKey: pub,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  now.Add(validity),
+	}
+	cert.Signature = ed25519.Sign(a.key, cert.tbs())
+	return &Credential{Chain: []*Certificate{cert}, Key: priv}, nil
+}
+
+// Delegate derives a proxy credential from c: a fresh key pair whose
+// certificate is signed by c's key and whose subject extends c's subject
+// with "/proxy". Proxy lifetimes are clamped to the parent's expiry, as in
+// GSI.
+func (c *Credential) Delegate(validity time.Duration) (*Credential, error) {
+	leaf := c.Leaf()
+	if leaf == nil {
+		return nil, ErrBadChain
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: generate proxy key: %w", err)
+	}
+	now := time.Now()
+	notAfter := now.Add(validity)
+	if notAfter.After(leaf.NotAfter) {
+		notAfter = leaf.NotAfter
+	}
+	cert := &Certificate{
+		Subject:   leaf.Subject + "/proxy",
+		Issuer:    leaf.Subject,
+		PublicKey: pub,
+		NotBefore: now.Add(-time.Minute),
+		NotAfter:  notAfter,
+		IsProxy:   true,
+	}
+	cert.Signature = ed25519.Sign(c.Key, cert.tbs())
+	chain := append([]*Certificate{cert}, c.Chain...)
+	return &Credential{Chain: chain, Key: priv}, nil
+}
+
+// TrustStore holds the CA certificates a site trusts.
+type TrustStore struct {
+	cas map[string]*Certificate
+}
+
+// NewTrustStore builds a store from CA certificates.
+func NewTrustStore(cas ...*Certificate) *TrustStore {
+	ts := &TrustStore{cas: make(map[string]*Certificate, len(cas))}
+	for _, c := range cas {
+		ts.Add(c)
+	}
+	return ts
+}
+
+// Add registers a trusted CA certificate.
+func (ts *TrustStore) Add(c *Certificate) {
+	if c != nil && c.IsCA {
+		ts.cas[c.Subject] = c
+	}
+}
+
+// VerifyChain validates a leaf-first chain at time now: every certificate
+// in its validity window, every signature valid under its issuer's key,
+// proxy subjects extending their issuer's subject, and the topmost
+// certificate issued by a trusted CA. It returns the base identity of the
+// chain.
+func (ts *TrustStore) VerifyChain(chain []*Certificate, now time.Time) (string, error) {
+	if len(chain) == 0 {
+		return "", ErrBadChain
+	}
+	for i, cert := range chain {
+		if !cert.ValidAt(now) {
+			return "", fmt.Errorf("%w: %s", ErrExpired, cert.Subject)
+		}
+		var issuerKey ed25519.PublicKey
+		if i+1 < len(chain) {
+			parent := chain[i+1]
+			if cert.Issuer != parent.Subject {
+				return "", fmt.Errorf("%w: issuer %q != parent subject %q", ErrBadChain, cert.Issuer, parent.Subject)
+			}
+			if cert.IsProxy && cert.Subject != parent.Subject+"/proxy" {
+				return "", fmt.Errorf("%w: proxy subject %q does not extend %q", ErrBadChain, cert.Subject, parent.Subject)
+			}
+			if !cert.IsProxy {
+				return "", fmt.Errorf("%w: non-proxy certificate %q below chain head", ErrBadChain, cert.Subject)
+			}
+			issuerKey = parent.PublicKey
+		} else {
+			ca, ok := ts.cas[cert.Issuer]
+			if !ok {
+				return "", fmt.Errorf("%w: issuer %q", ErrUntrusted, cert.Issuer)
+			}
+			if !ca.ValidAt(now) {
+				return "", fmt.Errorf("%w: CA %s", ErrExpired, ca.Subject)
+			}
+			issuerKey = ca.PublicKey
+		}
+		if !ed25519.Verify(issuerKey, cert.tbs(), cert.Signature) {
+			return "", fmt.Errorf("%w: %s", ErrBadSignature, cert.Subject)
+		}
+	}
+	return BaseIdentity(chain[0].Subject), nil
+}
+
+// Envelope is a signed message: payload, signer chain, signature by the
+// chain's leaf key. This is the message-level security layer every NEESgrid
+// service call travels under.
+type Envelope struct {
+	Payload   []byte         `json:"payload"`
+	Chain     []*Certificate `json:"chain"`
+	Signature []byte         `json:"signature"`
+}
+
+// Sign wraps payload in an envelope signed by the credential.
+func Sign(cred *Credential, payload []byte) (*Envelope, error) {
+	if cred == nil || cred.Leaf() == nil {
+		return nil, ErrBadChain
+	}
+	sig := ed25519.Sign(cred.Key, payload)
+	return &Envelope{Payload: payload, Chain: cred.Chain, Signature: sig}, nil
+}
+
+// Open verifies the envelope against the trust store and returns the
+// payload and the signer's base identity.
+func (ts *TrustStore) Open(env *Envelope, now time.Time) (payload []byte, identity string, err error) {
+	if env == nil {
+		return nil, "", ErrBadChain
+	}
+	identity, err = ts.VerifyChain(env.Chain, now)
+	if err != nil {
+		return nil, "", err
+	}
+	if !ed25519.Verify(env.Chain[0].PublicKey, env.Payload, env.Signature) {
+		return nil, "", ErrBadSignature
+	}
+	return env.Payload, identity, nil
+}
+
+// Gridmap maps Grid identities to site-local account names — the classic
+// GSI gridmap file. A site only accepts identities present in its map.
+type Gridmap struct {
+	entries map[string]string
+}
+
+// NewGridmap builds a gridmap from identity → local-account pairs.
+func NewGridmap(entries map[string]string) *Gridmap {
+	g := &Gridmap{entries: make(map[string]string, len(entries))}
+	for k, v := range entries {
+		g.entries[k] = v
+	}
+	return g
+}
+
+// Map adds or replaces a mapping.
+func (g *Gridmap) Map(identity, account string) { g.entries[identity] = account }
+
+// Authorize returns the local account mapped to identity, or
+// ErrNotAuthorized.
+func (g *Gridmap) Authorize(identity string) (string, error) {
+	acct, ok := g.entries[identity]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotAuthorized, identity)
+	}
+	return acct, nil
+}

@@ -1,0 +1,88 @@
+package gsi
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCredentialSaveLoadRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	proxy, _ := cred.Delegate(time.Minute)
+	path := filepath.Join(t.TempDir(), "keys", "alice.cred")
+	if err := SaveCredential(proxy, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCredential(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Identity() != "/O=NEES/CN=alice" || len(loaded.Chain) != 2 {
+		t.Fatalf("loaded = %+v", loaded)
+	}
+	// The loaded credential still signs verifiable envelopes.
+	env, err := Sign(loaded, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Cert)
+	if _, _, err := ts.Open(env, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthoritySaveLoadRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	path := filepath.Join(t.TempDir(), "ca.json")
+	if err := ca.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadAuthority(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded CA can still issue credentials trusted under the
+	// original CA certificate.
+	cred, err := loaded.Issue("/O=NEES/CN=bob", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrustStore(ca.Cert)
+	if _, err := ts.VerifyChain(cred.Chain, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateSaveLoadRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	path := filepath.Join(t.TempDir(), "ca.cert")
+	if err := SaveCertificate(ca.Cert, path); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := LoadCertificate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, _ := ca.Issue("/O=NEES/CN=carol", time.Hour)
+	ts := NewTrustStore(cert)
+	if _, err := ts.VerifyChain(cred.Chain, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCredential(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing credential accepted")
+	}
+	if _, err := LoadAuthority(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing authority accepted")
+	}
+	if _, err := LoadCertificate(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing certificate accepted")
+	}
+	if err := SaveCredential(&Credential{}, filepath.Join(dir, "x")); err == nil {
+		t.Fatal("empty credential accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package most
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"neesgrid/internal/collab"
+	"neesgrid/internal/coord"
+	"neesgrid/internal/core"
+	"neesgrid/internal/groundmotion"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/structural"
+)
+
+// Fault is one scheduled network fault: before step Step executes, Count
+// transport failures are queued at site Site ("" = every site). A fault
+// with Fatal set switches the site into a hard outage instead — the error
+// the public MOST run could not survive.
+type Fault struct {
+	Step  int
+	Site  string
+	Count int
+	Fatal bool
+}
+
+// Spec describes a full distributed hybrid experiment.
+type Spec struct {
+	Name  string
+	Sites []SiteSpec
+	// Frame supplies mass/damping/initial stiffness; per-site elastic K
+	// from SiteSpec must sum to Frame.TotalK() for consistency.
+	Frame structural.FrameConfig
+	// Ground is the input motion; nil generates the El Centro-like record
+	// on the Frame grid.
+	Ground *groundmotion.Record
+	// Steps overrides Frame.Steps when > 0.
+	Steps int
+	// Retry is the coordinator's NTCP retry policy. The dry run and E1 use
+	// core.DefaultRetry; the public-run reproduction uses core.NoRetry to
+	// match the coordinator that "had not been coded to take advantage of
+	// all the fault-tolerance features".
+	Retry core.RetryPolicy
+	// Faults is the deterministic fault schedule.
+	Faults []Fault
+	// Integrator is the time-stepping scheme; nil = explicit Newmark.
+	Integrator structural.Integrator
+	// FastPath uses the single-round-trip NTCP operation per site per
+	// step (the §5 performance work).
+	FastPath bool
+	// Archive, when non-nil, wires each site's DAQ through a spool
+	// directory into the repository while the run is in progress — the
+	// §3.2 incremental-archival path (requires DAQEvery > 0).
+	Archive *ArchiveConfig
+	// DAQEvery scans site DAQs every N steps (0 disables DAQ sampling).
+	DAQEvery int
+	// OnStep observes committed states.
+	OnStep func(structural.State)
+}
+
+// Results collects everything a run produced.
+type Results struct {
+	History *structural.History
+	Report  *coord.Report
+	// InjectedFaults is the number of transport errors faultnet produced.
+	InjectedFaults int
+	// DAQScans is the total DAQ scans across sites.
+	DAQScans int
+	// ArchiveErr records a mid-run ingestion failure (the run itself is
+	// not aborted for archival problems — the stream and local spool
+	// remain the fallback, as in the paper's best-effort design).
+	ArchiveErr error
+	Err        error
+}
+
+// Experiment is a built, running topology.
+type Experiment struct {
+	Spec  Spec
+	Sites []*Site
+	CA    *gsi.Authority
+	Trust *gsi.TrustStore
+	Cred  *gsi.Credential // coordinator credential
+	// Viewer aggregates every site's stream for the CHEF data viewers.
+	Viewer *collab.Viewer
+
+	arch      *archive
+	stopFeeds []func()
+}
+
+// Build starts every site and wires monitoring.
+func Build(spec Spec) (*Experiment, error) {
+	if len(spec.Sites) == 0 {
+		return nil, fmt.Errorf("most: experiment needs sites")
+	}
+	ca, err := gsi.NewAuthority("/O=NEES/CN=NEESgrid CA", 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	trust := gsi.NewTrustStore(ca.Cert)
+	coordCred, err := ca.Issue("/O=NEES/CN=simulation-coordinator", 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: coordCred,
+		Viewer: collab.NewViewer(0)}
+	for _, ss := range spec.Sites {
+		site, err := startSite(ca, trust, coordCred.Identity(), ss)
+		if err != nil {
+			exp.Stop()
+			return nil, err
+		}
+		exp.Sites = append(exp.Sites, site)
+		sub, err := site.Hub.Subscribe(4096)
+		if err != nil {
+			exp.Stop()
+			return nil, err
+		}
+		done := make(chan struct{})
+		go func() {
+			exp.Viewer.FeedFrom(sub.C())
+			close(done)
+		}()
+		exp.stopFeeds = append(exp.stopFeeds, func() {
+			sub.Cancel()
+			<-done
+		})
+	}
+	if spec.Archive != nil {
+		if err := exp.setupArchive(spec.Archive); err != nil {
+			exp.Stop()
+			return nil, fmt.Errorf("most: archive: %w", err)
+		}
+	}
+	return exp, nil
+}
+
+// Site returns a running site by name.
+func (e *Experiment) Site(name string) (*Site, bool) {
+	for _, s := range e.Sites {
+		if s.Spec.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Stop tears the topology down.
+func (e *Experiment) Stop() {
+	for _, stop := range e.stopFeeds {
+		stop()
+	}
+	e.stopFeeds = nil
+	for _, s := range e.Sites {
+		s.Stop()
+	}
+	if e.arch != nil {
+		_ = e.arch.ftp.Close()
+	}
+}
+
+// Run executes the experiment.
+func (e *Experiment) Run(ctx context.Context) (*Results, error) {
+	spec := e.Spec
+	steps := spec.Steps
+	if steps <= 0 {
+		steps = spec.Frame.Steps
+	}
+	ground := spec.Ground
+	if ground == nil {
+		cfg := groundmotion.ElCentroLike()
+		cfg.Dt = spec.Frame.Dt
+		cfg.Duration = float64(steps) * spec.Frame.Dt
+		var err error
+		ground, err = groundmotion.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Index the fault schedule by step.
+	faultsAt := make(map[int][]Fault)
+	for _, f := range spec.Faults {
+		faultsAt[f.Step] = append(faultsAt[f.Step], f)
+	}
+	applyFaults := func(step int) {
+		for _, f := range faultsAt[step] {
+			for _, s := range e.Sites {
+				if f.Site != "" && f.Site != s.Spec.Name {
+					continue
+				}
+				if f.Fatal {
+					s.Injector.SetOutage(true)
+				} else {
+					s.Injector.FailNext(f.Count)
+				}
+			}
+		}
+	}
+
+	frame := spec.Frame
+	m := structural.Diagonal([]float64{frame.Mass})
+	k := structural.Diagonal([]float64{frame.TotalK()})
+	var c *structural.Matrix
+	if frame.DampingRatio > 0 {
+		w := frame.NaturalFrequency()
+		c = structural.RayleighDamping(m, k, frame.DampingRatio, w, 5*w)
+	}
+
+	results := &Results{}
+	cfg := coord.Config{
+		M: m, C: c, K: k,
+		Integrator: spec.Integrator,
+		Dt:         frame.Dt,
+		Steps:      steps,
+		Ground:     ground.At,
+		RunID:      spec.Name,
+		FastPath:   spec.FastPath,
+		OnStep: func(st structural.State) {
+			// Faults scheduled for step N+1 are armed after step N commits.
+			applyFaults(st.Step + 1)
+			if spec.DAQEvery > 0 && st.Step%spec.DAQEvery == 0 {
+				for _, s := range e.Sites {
+					if _, err := s.DAQ.Scan(st.Step, st.T); err == nil {
+						results.DAQScans++
+					}
+				}
+			}
+			if e.arch != nil {
+				every := spec.Archive.IngestEvery
+				if every <= 0 {
+					every = 100
+				}
+				if st.Step > 0 && st.Step%every == 0 {
+					if err := e.ingestTick(); err != nil {
+						results.ArchiveErr = err
+					}
+				}
+			}
+			if spec.OnStep != nil {
+				spec.OnStep(st)
+			}
+		},
+	}
+	sites := make([]coord.Site, len(e.Sites))
+	for i, s := range e.Sites {
+		sites[i] = s.coordSite(e.Cred, e.Trust, spec.Retry)
+	}
+	co, err := coord.New(cfg, sites...)
+	if err != nil {
+		return nil, err
+	}
+	applyFaults(0)
+	hist, report, runErr := co.Run(ctx)
+	results.History = hist
+	results.Report = report
+	results.Err = runErr
+	for _, s := range e.Sites {
+		results.InjectedFaults += s.Injector.Injected()
+	}
+	if err := e.drainArchive(); err != nil && results.ArchiveErr == nil {
+		results.ArchiveErr = err
+	}
+	// Monitoring ends with the run: drain the viewer feeds so every
+	// published sample is visible to post-run analysis.
+	for _, stop := range e.stopFeeds {
+		stop()
+	}
+	e.stopFeeds = nil
+	return results, nil
+}

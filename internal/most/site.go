@@ -1,0 +1,373 @@
+// Package most assembles the complete MOST-class experiment topologies of
+// the paper (Figs. 5, 9, 11): per-site OGSI containers hosting NTCP servers
+// with the site's control plugin (simulation, Mplugin+poll back end,
+// Shore-Western rig, xPC rig, or LabVIEW stepper), per-site DAQ feeding
+// NSDS streams and repository ingestion, telepresence cameras, WAN fault
+// injection, and the MS-PSDS simulation coordinator driving it all. It is
+// the harness behind experiments E1, E2, E3, E7 and E12.
+package most
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"neesgrid/internal/control"
+	"neesgrid/internal/coord"
+	"neesgrid/internal/core"
+	"neesgrid/internal/daq"
+	"neesgrid/internal/faultnet"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/nsds"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/plugin"
+	"neesgrid/internal/structural"
+	"neesgrid/internal/telepresence"
+)
+
+// BackendKind selects how a site's substructure is realized — the axis
+// along which NTCP makes "a physical experiment and a computational
+// simulation indistinguishable".
+type BackendKind int
+
+// The back ends used across MOST and Mini-MOST.
+const (
+	// KindSimulation plugs a numerical element directly into NTCP.
+	KindSimulation BackendKind = iota
+	// KindMpluginSim is the NCSA configuration: a buffering Mplugin whose
+	// back-end solver polls for requests and notifies results.
+	KindMpluginSim
+	// KindShoreWestern is the UIUC configuration: an emulated
+	// servo-hydraulic rig behind a Shore-Western TCP controller.
+	KindShoreWestern
+	// KindXPC is the CU configuration: an emulated rig behind an
+	// xPC-target real-time loop.
+	KindXPC
+	// KindLabView is the Mini-MOST configuration: a stepper-motor beam
+	// behind a LabVIEW daemon.
+	KindLabView
+	// KindKinetic is the Mini-MOST hardware-free test configuration: the
+	// first-order kinetic beam simulator.
+	KindKinetic
+)
+
+func (k BackendKind) String() string {
+	switch k {
+	case KindSimulation:
+		return "simulation"
+	case KindMpluginSim:
+		return "mplugin-sim"
+	case KindShoreWestern:
+		return "shore-western"
+	case KindXPC:
+		return "xpc"
+	case KindLabView:
+		return "labview"
+	case KindKinetic:
+		return "kinetic"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// SiteSpec describes one experiment site.
+type SiteSpec struct {
+	Name  string
+	Kind  BackendKind
+	Point string // control point name; defaults to "drift"
+	// Substructure behaviour: elastic stiffness, yield force (0 = linear),
+	// hardening ratio.
+	K, Fy, Hardening float64
+	// DOFs maps the site's single control DOF to global model DOFs;
+	// defaults to [0].
+	DOFs []int
+	// Policy is the site's proposal screen (nil = unrestricted).
+	Policy *core.SitePolicy
+	// WAN is the network profile between the coordinator and this site.
+	WAN faultnet.Profile
+	// Noisy enables sensor noise on rig-backed sites.
+	Noisy bool
+}
+
+// Site is a running experiment site.
+type Site struct {
+	Spec     SiteSpec
+	Addr     string
+	Server   *core.Server
+	Injector *faultnet.Injector
+	Hub      *nsds.Hub
+	DAQ      *daq.DAQ
+	Camera   *telepresence.Camera
+	Rig      *control.Rig
+
+	container *ogsi.Container
+	cleanup   []func()
+	resets    []func() error
+
+	mu        sync.Mutex
+	lastDisp  float64
+	lastForce float64
+}
+
+// recordingPlugin wraps a site plugin so the harness can observe the last
+// applied displacement/force (the quantity the site's DAQ samples).
+type recordingPlugin struct {
+	inner core.Plugin
+	site  *Site
+}
+
+func (r *recordingPlugin) Validate(ctx context.Context, actions []core.Action) error {
+	return r.inner.Validate(ctx, actions)
+}
+
+func (r *recordingPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	results, err := r.inner.Execute(ctx, actions)
+	if err == nil && len(results) > 0 && len(results[0].Displacements) > 0 {
+		r.site.mu.Lock()
+		r.site.lastDisp = results[0].Displacements[0]
+		if len(results[0].Forces) > 0 {
+			r.site.lastForce = results[0].Forces[0]
+		}
+		r.site.mu.Unlock()
+	}
+	return results, err
+}
+
+// LastDisp returns the last displacement applied at the site.
+func (s *Site) LastDisp() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastDisp
+}
+
+// LastForce returns the last force measured at the site.
+func (s *Site) LastForce() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastForce
+}
+
+// Reset returns the site's substructure to its virgin state — the
+// between-runs specimen reset (the paper ran the full experiment twice,
+// dry run then public run).
+func (s *Site) Reset() error {
+	for _, r := range s.resets {
+		if err := r(); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.lastDisp, s.lastForce = 0, 0
+	s.mu.Unlock()
+	return nil
+}
+
+// Stop tears the site down.
+func (s *Site) Stop() {
+	for i := len(s.cleanup) - 1; i >= 0; i-- {
+		s.cleanup[i]()
+	}
+	s.cleanup = nil
+}
+
+// buildBackend constructs the plugin (and any rig/daemon) for a spec.
+func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
+	point := spec.Point
+	elastic := spec.K
+	switch spec.Kind {
+	case KindSimulation:
+		var elem structural.Element
+		if spec.Fy > 0 {
+			elem = structural.NewBilinear(elastic, spec.Fy, spec.Hardening)
+		} else {
+			elem = structural.NewLinearElastic(elastic)
+		}
+		var mu sync.Mutex
+		site.resets = append(site.resets, func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			elem.Reset()
+			return nil
+		})
+		return &core.SubstructurePlugin{
+			Point: point, NDOF: 1,
+			Apply: func(d []float64) ([]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return []float64{elem.Restore(d[0])}, nil
+			},
+		}, nil
+
+	case KindMpluginSim:
+		m := plugin.NewMplugin(point, 1, 16)
+		var elem structural.Element
+		if spec.Fy > 0 {
+			elem = structural.NewBilinear(elastic, spec.Fy, spec.Hardening)
+		} else {
+			elem = structural.NewLinearElastic(elastic)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		var mu sync.Mutex
+		go func() {
+			_ = m.RunBackend(ctx, func(d []float64) ([]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return []float64{elem.Restore(d[0])}, nil
+			})
+		}()
+		site.cleanup = append(site.cleanup, cancel)
+		site.resets = append(site.resets, func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			elem.Reset()
+			return nil
+		})
+		return m, nil
+
+	case KindShoreWestern:
+		cfg := control.DefaultActuator()
+		if !spec.Noisy {
+			cfg.PositionNoiseStd = 0
+			cfg.ForceNoiseStd = 0
+		}
+		rig := control.NewColumnRig(spec.Name+"-rig", cfg, elastic, spec.Fy, spec.Hardening)
+		site.Rig = rig
+		srv := control.NewShoreWesternServer(rig)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		site.cleanup = append(site.cleanup, func() { _ = srv.Close() })
+		cl := control.NewShoreWesternClient(addr)
+		site.cleanup = append(site.cleanup, func() { _ = cl.Close() })
+		site.resets = append(site.resets, rig.Reset)
+		return &plugin.ShoreWesternPlugin{Point: point, Client: cl}, nil
+
+	case KindXPC:
+		cfg := control.DefaultActuator()
+		if !spec.Noisy {
+			cfg.PositionNoiseStd = 0
+			cfg.ForceNoiseStd = 0
+		}
+		rig := control.NewColumnRig(spec.Name+"-rig", cfg, elastic, spec.Fy, spec.Hardening)
+		site.Rig = rig
+		target := control.NewXPCTarget(rig)
+		target.Start(time.Millisecond)
+		site.cleanup = append(site.cleanup, target.Stop)
+		site.resets = append(site.resets, rig.Reset)
+		return &plugin.XPCPlugin{Point: point, Target: target, SettleTimeout: 10 * time.Second}, nil
+
+	case KindLabView:
+		stepper := control.NewStepperBeam(spec.Name+"-beam", elastic, 1e-5, 200_000)
+		daemon := plugin.NewLabViewDaemon(stepper)
+		addr, err := daemon.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		site.cleanup = append(site.cleanup, func() { _ = daemon.Close() })
+		p := &plugin.LabViewPlugin{Point: point, Addr: addr}
+		site.cleanup = append(site.cleanup, func() { _ = p.Close() })
+		site.resets = append(site.resets, stepper.Reset)
+		return p, nil
+
+	case KindKinetic:
+		sim := control.NewFirstOrderKinetic(spec.Name+"-kinetic", elastic, 0.02, 1.0)
+		var mu sync.Mutex
+		site.resets = append(site.resets, func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return sim.Reset()
+		})
+		return &core.SubstructurePlugin{
+			Point: point, NDOF: 1,
+			Apply: func(d []float64) ([]float64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				return sim.Apply(d)
+			},
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("most: unknown backend kind %v", spec.Kind)
+	}
+}
+
+// startSite builds and starts one site against the experiment CA.
+func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, spec SiteSpec) (*Site, error) {
+	if spec.Point == "" {
+		spec.Point = "drift"
+	}
+	if len(spec.DOFs) == 0 {
+		spec.DOFs = []int{0}
+	}
+	site := &Site{Spec: spec, Injector: faultnet.NewInjector(spec.WAN), Hub: nsds.NewHub()}
+
+	backend, err := buildBackend(spec, site)
+	if err != nil {
+		return nil, fmt.Errorf("most: site %s: %w", spec.Name, err)
+	}
+	rec := &recordingPlugin{inner: backend, site: site}
+
+	siteCred, err := ca.Issue("/O=NEES/CN="+spec.Name, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	gm := gsi.NewGridmap(map[string]string{coordIdentity: "coord"})
+	cont := ogsi.NewContainer(siteCred, trust, gm)
+	server := core.NewServer(rec, spec.Policy, core.ServerOptions{})
+	cont.AddService(server.Service())
+	addr, err := cont.Start("127.0.0.1:0")
+	if err != nil {
+		site.Stop()
+		return nil, fmt.Errorf("most: site %s container: %w", spec.Name, err)
+	}
+	site.container = cont
+	site.cleanup = append(site.cleanup, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = cont.Stop(ctx)
+	})
+	site.Addr = addr
+	site.Server = server
+
+	// DAQ channels: displacement and force, fed by the recording plugin.
+	site.DAQ = daq.New(spec.Name, 1)
+	noise := 0.0
+	if spec.Noisy {
+		noise = 1e-6
+	}
+	if err := site.DAQ.AddChannel(daq.Channel{
+		Name: spec.Name + ".disp", Kind: daq.LVDT, Units: "m",
+		Read: site.LastDisp, NoiseStd: noise,
+	}); err != nil {
+		site.Stop()
+		return nil, err
+	}
+	if err := site.DAQ.AddChannel(daq.Channel{
+		Name: spec.Name + ".force", Kind: daq.LoadCell, Units: "N",
+		Read: site.LastForce, NoiseStd: noise * 1e4,
+	}); err != nil {
+		site.Stop()
+		return nil, err
+	}
+	site.DAQ.AttachHub(site.Hub)
+	site.cleanup = append(site.cleanup, site.Hub.Close)
+
+	// Telepresence camera watching the specimen.
+	site.Camera = telepresence.NewCamera(spec.Name+"-cam1", site.LastDisp)
+	return site, nil
+}
+
+// coordSite binds a running site into the coordinator topology.
+func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core.RetryPolicy) coord.Site {
+	og := ogsi.NewClient("http://"+s.Addr, cred, trust)
+	og.HTTP = &http.Client{Transport: faultnet.NewTransport(s.Injector)}
+	return coord.Site{
+		Name:         s.Spec.Name,
+		Client:       core.NewClient(og, retry),
+		ControlPoint: s.Spec.Point,
+		DOFs:         append([]int(nil), s.Spec.DOFs...),
+	}
+}

@@ -1,0 +1,151 @@
+package most
+
+import (
+	"neesgrid/internal/core"
+	"neesgrid/internal/structural"
+)
+
+// Variant selects how the MOST substructures are realized.
+type Variant int
+
+// MOST bring-up phases (§3: "MOST was developed incrementally. First, we
+// implemented and tested a distributed simulation-only experiment. Once the
+// correctness of the distributed simulation was verified, two of the
+// numerical simulations were replaced with physical substructures.")
+const (
+	// VariantSimulation runs all three substructures as numerical
+	// simulations (the first bring-up phase).
+	VariantSimulation Variant = iota
+	// VariantHybrid is the production MOST configuration of Fig. 9:
+	// UIUC rig behind Shore-Western, NCSA Matlab-style Mplugin simulation,
+	// CU rig behind an xPC target.
+	VariantHybrid
+)
+
+// mostPolicy is the per-site proposal screen used in the MOST topologies:
+// displacements beyond the actuator stroke are rejected at proposal time.
+func mostPolicy(point string, maxDisp float64) *core.SitePolicy {
+	return &core.SitePolicy{PointLimits: map[string]core.Limits{
+		point: {MaxDisplacement: maxDisp},
+	}}
+}
+
+// MOSTSpec builds the three-site MOST experiment.
+func MOSTSpec(variant Variant, retry core.RetryPolicy) Spec {
+	frame := structural.MOSTConfig()
+	simKind := KindSimulation
+	uiucKind, ncsaKind, cuKind := simKind, KindMpluginSim, simKind
+	if variant == VariantHybrid {
+		uiucKind, cuKind = KindShoreWestern, KindXPC
+	}
+	return Spec{
+		Name:  "most",
+		Frame: frame,
+		Retry: retry,
+		Sites: []SiteSpec{
+			{
+				Name: "uiuc", Kind: uiucKind, Point: "left-column",
+				K: frame.LeftK, Fy: frame.LeftFy, Hardening: frame.Hardening,
+				Policy: mostPolicy("left-column", 0.15),
+			},
+			{
+				Name: "ncsa", Kind: ncsaKind, Point: "middle-frame",
+				K:      frame.MidK,
+				Policy: mostPolicy("middle-frame", 0.15),
+			},
+			{
+				Name: "cu", Kind: cuKind, Point: "right-column",
+				K: frame.RightK, Fy: frame.RightFy, Hardening: frame.Hardening,
+				Policy: mostPolicy("right-column", 0.15),
+			},
+		},
+	}
+}
+
+// DryRunSpec is E1: the full 1,500-step experiment with a fault-tolerant
+// coordinator and no injected faults — it "ran successfully to completion".
+func DryRunSpec(variant Variant) Spec {
+	return MOSTSpec(variant, core.DefaultRetry)
+}
+
+// PublicRunSpec is E2: the public MOST run. Transient network failures are
+// injected through the day (the coordinator's NTCP retries recover them),
+// and a hard outage begins at step 1493, which no amount of retrying
+// survives — the run exits prematurely at 1493 of 1500, as reported in
+// §3.4.
+func PublicRunSpec(variant Variant) Spec {
+	spec := MOSTSpec(variant, core.DefaultRetry)
+	spec.Name = "most-public"
+	spec.Faults = []Fault{
+		{Step: 220, Site: "uiuc", Count: 2},
+		{Step: 641, Site: "cu", Count: 2},
+		{Step: 905, Site: "ncsa", Count: 1},
+		{Step: 1188, Site: "uiuc", Count: 2},
+		{Step: 1493, Site: "cu", Fatal: true},
+	}
+	return spec
+}
+
+// MiniMOSTSpec is E7: the tabletop Mini-MOST (Fig. 11) — a stepper-driven
+// beam behind a LabVIEW daemon plus the simulated portion of the frame.
+// When hardware is false the beam is replaced by the first-order kinetic
+// simulator, the §3.5 configuration "for testing when the actual hardware
+// is not available".
+func MiniMOSTSpec(hardware bool) Spec {
+	frame := structural.MiniMOSTConfig()
+	beamKind := KindLabView
+	if !hardware {
+		beamKind = KindKinetic
+	}
+	return Spec{
+		Name:  "minimost",
+		Frame: frame,
+		Retry: core.DefaultRetry,
+		Sites: []SiteSpec{
+			{
+				Name: "bench", Kind: beamKind, Point: "beam",
+				K:      frame.LeftK,
+				Policy: mostPolicy("beam", 0.05),
+			},
+			{
+				Name: "hostpc", Kind: KindSimulation, Point: "middle-frame",
+				K: frame.MidK,
+			},
+		},
+	}
+}
+
+// SoilStructureSpec is E12: the §5 RPI/UIUC/Lehigh soil-structure
+// interaction experiment shape — two structural sites, one geotechnical
+// site with hysteretic soil behaviour, and a computational node at NCSA,
+// all under the same coordinator. Parameters model the idealized
+// Collector-Distributor 36 study at reduced scale.
+func SoilStructureSpec() Spec {
+	const (
+		mass  = 50_000.0
+		kUIUC = 1.2e6
+		kLeh  = 1.2e6
+		kRPI  = 0.8e6 // soil: softer, strongly hysteretic
+		kNCSA = 1.5e6
+	)
+	frame := structural.FrameConfig{
+		Mass:         mass,
+		LeftK:        kUIUC,
+		MidK:         kLeh + kRPI,
+		RightK:       kNCSA,
+		DampingRatio: 0.03,
+		Dt:           0.01,
+		Steps:        1000,
+	}
+	return Spec{
+		Name:  "soil-structure",
+		Frame: frame,
+		Retry: core.DefaultRetry,
+		Sites: []SiteSpec{
+			{Name: "uiuc", Kind: KindSimulation, Point: "pier-a", K: kUIUC, Fy: 40e3, Hardening: 0.05},
+			{Name: "lehigh", Kind: KindSimulation, Point: "pier-b", K: kLeh, Fy: 40e3, Hardening: 0.05},
+			{Name: "rpi", Kind: KindSimulation, Point: "soil", K: kRPI, Fy: 15e3, Hardening: 0.02},
+			{Name: "ncsa", Kind: KindMpluginSim, Point: "deck", K: kNCSA},
+		},
+	}
+}

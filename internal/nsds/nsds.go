@@ -1,0 +1,397 @@
+// Package nsds implements the NEESgrid Streaming Data Service (paper §2.2,
+// [13]): a best-effort stream of real-time data from the data acquisition
+// system to remote observers. Best-effort is the load-bearing property —
+// "earthquake engineering experiments often produce more data than can be
+// streamed reliably in real-time" — so a slow subscriber loses samples
+// rather than stalling the experiment; the complete record lands in the
+// repository instead.
+package nsds
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Sample is one measurement frame.
+type Sample struct {
+	// Channel is the sensor/channel name (e.g. "uiuc.lvdt1").
+	Channel string `json:"channel"`
+	// Seq is the monotonically increasing sequence number assigned by the
+	// hub at publication.
+	Seq uint64 `json:"seq"`
+	// T is the experiment time (s).
+	T float64 `json:"t"`
+	// Value is the reading in channel units.
+	Value float64 `json:"value"`
+}
+
+// Subscription is one consumer's view of the stream.
+type Subscription struct {
+	id  int
+	hub *Hub
+	ch  chan Sample
+
+	mu      sync.Mutex
+	dropped uint64
+	filter  map[string]bool
+}
+
+// C returns the sample channel. It is closed when the subscription is
+// cancelled or the hub shuts down.
+func (s *Subscription) C() <-chan Sample { return s.ch }
+
+// Dropped returns how many samples this subscriber lost to backpressure.
+func (s *Subscription) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Cancel detaches the subscription.
+func (s *Subscription) Cancel() { s.hub.cancel(s.id) }
+
+func (s *Subscription) wants(channel string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.filter) == 0 {
+		return true
+	}
+	return s.filter[channel]
+}
+
+// Hub fan-outs published samples to subscribers, dropping for slow ones.
+type Hub struct {
+	mu        sync.Mutex
+	subs      map[int]*Subscription
+	nextID    int
+	seq       uint64
+	published uint64
+	dropped   uint64
+	closed    bool
+	retain    int
+	retained  map[string][]Sample // channel → last `retain` samples
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[int]*Subscription)}
+}
+
+// SetRetention keeps the last n samples per channel for late joiners:
+// SubscribeWithCatchUp delivers them before live samples — how a data
+// viewer opened mid-experiment shows history immediately. 0 disables.
+func (h *Hub) SetRetention(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.retain = n
+	if n <= 0 {
+		h.retained = nil
+		return
+	}
+	if h.retained == nil {
+		h.retained = make(map[string][]Sample)
+	}
+}
+
+// SubscribeWithCatchUp attaches a consumer and pre-loads it with the
+// retained history of its channels (best effort: history beyond the buffer
+// is dropped oldest-first, like any other backpressure).
+func (h *Hub) SubscribeWithCatchUp(buffer int, channels ...string) (*Subscription, error) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("nsds: hub closed")
+	}
+	sub := &Subscription{id: h.nextID, hub: h, ch: make(chan Sample, buffer)}
+	if len(channels) > 0 {
+		sub.filter = make(map[string]bool, len(channels))
+		for _, c := range channels {
+			sub.filter[c] = true
+		}
+	}
+	// Deliver history before registering for live samples so ordering is
+	// history-then-live with no interleaving gap.
+	var history []Sample
+	for ch, samples := range h.retained {
+		if len(sub.filter) == 0 || sub.filter[ch] {
+			history = append(history, samples...)
+		}
+	}
+	sortBySeq(history)
+	for _, s := range history {
+		select {
+		case sub.ch <- s:
+		default:
+			sub.dropped++
+			h.dropped++
+		}
+	}
+	h.subs[h.nextID] = sub
+	h.nextID++
+	return sub, nil
+}
+
+func sortBySeq(ss []Sample) {
+	// Insertion sort: history sets are small (retention × channels).
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].Seq < ss[j-1].Seq; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// Subscribe attaches a consumer with the given buffer depth; channels
+// filters the stream (empty = everything).
+func (h *Hub) Subscribe(buffer int, channels ...string) (*Subscription, error) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("nsds: hub closed")
+	}
+	sub := &Subscription{id: h.nextID, hub: h, ch: make(chan Sample, buffer)}
+	if len(channels) > 0 {
+		sub.filter = make(map[string]bool, len(channels))
+		for _, c := range channels {
+			sub.filter[c] = true
+		}
+	}
+	h.subs[h.nextID] = sub
+	h.nextID++
+	return sub, nil
+}
+
+func (h *Hub) cancel(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sub, ok := h.subs[id]; ok {
+		delete(h.subs, id)
+		close(sub.ch)
+	}
+}
+
+// Publish assigns a sequence number and delivers the sample best-effort.
+func (h *Hub) Publish(s Sample) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.seq++
+	s.Seq = h.seq
+	h.published++
+	if h.retain > 0 {
+		kept := append(h.retained[s.Channel], s)
+		if len(kept) > h.retain {
+			kept = kept[len(kept)-h.retain:]
+		}
+		h.retained[s.Channel] = kept
+	}
+	subs := make([]*Subscription, 0, len(h.subs))
+	for _, sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.mu.Unlock()
+
+	for _, sub := range subs {
+		if !sub.wants(s.Channel) {
+			continue
+		}
+		select {
+		case sub.ch <- s:
+		default:
+			sub.mu.Lock()
+			sub.dropped++
+			sub.mu.Unlock()
+			h.mu.Lock()
+			h.dropped++
+			h.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns (published, dropped) totals.
+func (h *Hub) Stats() (published, dropped uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published, h.dropped
+}
+
+// Close shuts the hub down, closing every subscription channel.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, sub := range h.subs {
+		delete(h.subs, id)
+		close(sub.ch)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCP service
+// ---------------------------------------------------------------------------
+
+// subscribeMsg is the first line a TCP client sends.
+type subscribeMsg struct {
+	Channels []string `json:"channels"`
+	Buffer   int      `json:"buffer"`
+	CatchUp  bool     `json:"catch_up,omitempty"`
+}
+
+// Server exposes a hub over TCP: the client sends one JSON subscribe line,
+// then receives newline-delimited JSON samples until it disconnects.
+type Server struct {
+	hub *Hub
+
+	mu sync.Mutex
+	ln net.Listener
+}
+
+// NewServer wraps a hub.
+func NewServer(hub *Hub) *Server { return &Server{hub: hub} }
+
+// Start listens on addr; returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("nsds: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		return
+	}
+	var msg subscribeMsg
+	if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
+		return
+	}
+	var sub *Subscription
+	var err error
+	if msg.CatchUp {
+		sub, err = s.hub.SubscribeWithCatchUp(msg.Buffer, msg.Channels...)
+	} else {
+		sub, err = s.hub.Subscribe(msg.Buffer, msg.Channels...)
+	}
+	if err != nil {
+		return
+	}
+	defer sub.Cancel()
+	enc := json.NewEncoder(conn)
+	for sample := range sub.C() {
+		if err := enc.Encode(sample); err != nil {
+			return
+		}
+	}
+}
+
+// Client consumes a remote NSDS stream.
+type Client struct {
+	conn net.Conn
+	ch   chan Sample
+}
+
+// Dial connects, subscribes to channels (empty = all), and starts decoding
+// samples into C(). dial overrides the dialer (fault injection); nil means
+// net.Dial.
+func Dial(addr string, buffer int, channels []string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
+	return dialSubscribe(addr, subscribeMsg{Channels: channels, Buffer: buffer}, dial)
+}
+
+// DialCatchUp is Dial plus retained-history delivery: the server sends its
+// retained samples for the channels first, then the live stream — a viewer
+// joining mid-experiment sees history immediately.
+func DialCatchUp(addr string, buffer int, channels []string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
+	return dialSubscribe(addr, subscribeMsg{Channels: channels, Buffer: buffer, CatchUp: true}, dial)
+}
+
+func dialSubscribe(addr string, msg subscribeMsg, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nsds: dial %s: %w", addr, err)
+	}
+	buffer := msg.Buffer
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(msg); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("nsds: subscribe: %w", err)
+	}
+	c := &Client{conn: conn, ch: make(chan Sample, buffer)}
+	go func() {
+		defer close(c.ch)
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 64<<10), 1<<20)
+		for sc.Scan() {
+			var s Sample
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return
+			}
+			c.ch <- s
+		}
+	}()
+	return c, nil
+}
+
+// C returns the received sample stream; closed on disconnect.
+func (c *Client) C() <-chan Sample { return c.ch }
+
+// Close disconnects.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// CollectFor drains samples for a duration (test/diagnostic helper).
+func (c *Client) CollectFor(d time.Duration) []Sample {
+	var out []Sample
+	deadline := time.After(d)
+	for {
+		select {
+		case s, ok := <-c.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, s)
+		case <-deadline:
+			return out
+		}
+	}
+}

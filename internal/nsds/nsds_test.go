@@ -1,0 +1,278 @@
+package nsds
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHubPublishSubscribe(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub, err := h.Subscribe(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Publish(Sample{Channel: "a", T: 0.01, Value: 1.5})
+	select {
+	case s := <-sub.C():
+		if s.Channel != "a" || s.Value != 1.5 || s.Seq != 1 {
+			t.Fatalf("sample = %+v", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no sample delivered")
+	}
+}
+
+func TestHubChannelFilter(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub, _ := h.Subscribe(8, "wanted")
+	h.Publish(Sample{Channel: "ignored", Value: 1})
+	h.Publish(Sample{Channel: "wanted", Value: 2})
+	s := <-sub.C()
+	if s.Channel != "wanted" {
+		t.Fatalf("filter leaked %q", s.Channel)
+	}
+	select {
+	case s := <-sub.C():
+		t.Fatalf("unexpected extra sample %+v", s)
+	default:
+	}
+}
+
+func TestHubBestEffortDropsForSlowConsumer(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	slow, _ := h.Subscribe(2)
+	fast, _ := h.Subscribe(100)
+	for i := 0; i < 50; i++ {
+		h.Publish(Sample{Channel: "c", Value: float64(i)})
+	}
+	if slow.Dropped() == 0 {
+		t.Fatal("slow consumer should have dropped samples")
+	}
+	if fast.Dropped() != 0 {
+		t.Fatal("fast consumer should not drop")
+	}
+	// Fast consumer got everything in order.
+	for i := 0; i < 50; i++ {
+		s := <-fast.C()
+		if s.Value != float64(i) {
+			t.Fatalf("fast consumer sample %d = %g", i, s.Value)
+		}
+	}
+	pub, dropped := h.Stats()
+	if pub != 50 || dropped == 0 {
+		t.Fatalf("stats = %d published, %d dropped", pub, dropped)
+	}
+}
+
+func TestSubscriptionCancel(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	sub, _ := h.Subscribe(1)
+	sub.Cancel()
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("cancelled subscription channel should be closed")
+	}
+	h.Publish(Sample{Channel: "c"}) // must not panic
+}
+
+func TestHubClose(t *testing.T) {
+	h := NewHub()
+	sub, _ := h.Subscribe(1)
+	h.Close()
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("close should close subscriptions")
+	}
+	if _, err := h.Subscribe(1); err == nil {
+		t.Fatal("subscribe after close should fail")
+	}
+	h.Publish(Sample{Channel: "c"}) // no-op, no panic
+	h.Close()                       // idempotent
+}
+
+func TestServerClientStream(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	srv := NewServer(h)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(addr, 64, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// Give the server a moment to register the subscription.
+	deadline := time.Now().Add(time.Second)
+	for {
+		h.Publish(Sample{Channel: "uiuc.lvdt1", T: 0.01, Value: 3.25})
+		select {
+		case s := <-cl.C():
+			if s.Channel != "uiuc.lvdt1" || s.Value != 3.25 {
+				t.Fatalf("sample = %+v", s)
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no sample over TCP")
+		}
+	}
+}
+
+func TestServerClientChannelFilter(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	srv := NewServer(h)
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+
+	cl, err := Dial(addr, 64, []string{"only.this"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(20 * time.Millisecond) // let subscription land
+	h.Publish(Sample{Channel: "other", Value: 1})
+	h.Publish(Sample{Channel: "only.this", Value: 2})
+	select {
+	case s := <-cl.C():
+		if s.Channel != "only.this" {
+			t.Fatalf("filter leaked %q", s.Channel)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no sample")
+	}
+}
+
+func TestClientCloseEndsStream(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	srv := NewServer(h)
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+	cl, err := Dial(addr, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cl.Close()
+	select {
+	case _, ok := <-cl.C():
+		if ok {
+			t.Fatal("expected closed stream")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("stream did not close")
+	}
+}
+
+func TestCollectFor(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	srv := NewServer(h)
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+	cl, err := Dial(addr, 64, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 10; i++ {
+		h.Publish(Sample{Channel: "c", Value: float64(i)})
+	}
+	got := cl.CollectFor(100 * time.Millisecond)
+	if len(got) != 10 {
+		t.Fatalf("collected %d samples, want 10", len(got))
+	}
+}
+
+func TestCatchUpDeliversRetainedHistory(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetRetention(5)
+	for i := 0; i < 12; i++ {
+		h.Publish(Sample{Channel: "c", T: float64(i), Value: float64(i)})
+	}
+	// Late joiner with catch-up gets the last 5 samples, oldest first.
+	sub, err := h.SubscribeWithCatchUp(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 7.0; want < 12; want++ {
+		s := <-sub.C()
+		if s.Value != want {
+			t.Fatalf("history sample = %g, want %g", s.Value, want)
+		}
+	}
+	// Live samples continue after history.
+	h.Publish(Sample{Channel: "c", T: 12, Value: 12})
+	if s := <-sub.C(); s.Value != 12 {
+		t.Fatalf("live sample = %g", s.Value)
+	}
+	// A plain Subscribe sees no history.
+	plain, _ := h.Subscribe(16)
+	select {
+	case s := <-plain.C():
+		t.Fatalf("plain subscriber got history %+v", s)
+	default:
+	}
+}
+
+func TestCatchUpRespectsFilterAndOrdersAcrossChannels(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetRetention(4)
+	h.Publish(Sample{Channel: "a", Value: 1})
+	h.Publish(Sample{Channel: "b", Value: 2})
+	h.Publish(Sample{Channel: "a", Value: 3})
+	sub, _ := h.SubscribeWithCatchUp(8, "a")
+	s1, s2 := <-sub.C(), <-sub.C()
+	if s1.Value != 1 || s2.Value != 3 {
+		t.Fatalf("filtered history = %g, %g", s1.Value, s2.Value)
+	}
+	// Unfiltered joiner sees a, b, a in publish (seq) order.
+	all, _ := h.SubscribeWithCatchUp(8)
+	v1, v2, v3 := <-all.C(), <-all.C(), <-all.C()
+	if v1.Value != 1 || v2.Value != 2 || v3.Value != 3 {
+		t.Fatalf("ordering = %g %g %g", v1.Value, v2.Value, v3.Value)
+	}
+}
+
+func TestCatchUpOverTCP(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetRetention(10)
+	srv := NewServer(h)
+	addr, _ := srv.Start("127.0.0.1:0")
+	defer srv.Close()
+	for i := 0; i < 3; i++ {
+		h.Publish(Sample{Channel: "c", T: float64(i), Value: float64(i)})
+	}
+	cl, err := DialCatchUp(addr, 16, []string{"c"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got := cl.CollectFor(200 * time.Millisecond)
+	if len(got) != 3 || got[0].Value != 0 || got[2].Value != 2 {
+		t.Fatalf("tcp catch-up = %v", got)
+	}
+}
+
+func TestRetentionDisabledByDefault(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.Publish(Sample{Channel: "c", Value: 1})
+	sub, _ := h.SubscribeWithCatchUp(4)
+	select {
+	case s := <-sub.C():
+		t.Fatalf("history delivered with retention off: %+v", s)
+	default:
+	}
+}

@@ -1,0 +1,179 @@
+package ogsi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"neesgrid/internal/gsi"
+)
+
+// Client calls operations on a remote container, signing each request with
+// its credential and verifying the container's response signature.
+type Client struct {
+	BaseURL string
+	Cred    *gsi.Credential
+	Trust   *gsi.TrustStore
+	// HTTP is the underlying transport; tests and the fault-injection
+	// harness substitute clients whose dialers misbehave. Nil means
+	// http.DefaultClient.
+	HTTP *http.Client
+	// Clock overrides the time source used for envelope verification.
+	Clock func() time.Time
+}
+
+// NewClient builds a client for the container at baseURL
+// (e.g. "http://127.0.0.1:4455").
+func NewClient(baseURL string, cred *gsi.Credential, trust *gsi.TrustStore) *Client {
+	return &Client{BaseURL: baseURL, Cred: cred, Trust: trust}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) now() time.Time {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now()
+}
+
+// RemoteError is a fault returned by the remote service.
+type RemoteError struct {
+	Code    string
+	Message string
+}
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote %s: %s", e.Code, e.Message) }
+
+// IsRemoteCode reports whether err is a RemoteError with the given code.
+func IsRemoteCode(err error, code string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == code
+}
+
+// Call invokes service.op with params (marshalled to JSON); on success the
+// result is unmarshalled into out (which may be nil to discard).
+// Transport-level failures come back as ordinary errors (retryable);
+// service faults come back as *RemoteError (not retryable unless the code
+// says so).
+func (c *Client) Call(ctx context.Context, service, op string, params, out any) error {
+	rawParams, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("ogsi: marshal params: %w", err)
+	}
+	req := request{Service: service, Op: op, Params: rawParams, Sent: c.now()}
+	rawReq, err := json.Marshal(&req)
+	if err != nil {
+		return fmt.Errorf("ogsi: marshal request: %w", err)
+	}
+	env, err := gsi.Sign(c.Cred, rawReq)
+	if err != nil {
+		return fmt.Errorf("ogsi: sign request: %w", err)
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("ogsi: marshal envelope: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/ogsi", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("ogsi: build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return fmt.Errorf("ogsi: transport: %w", err)
+	}
+	defer httpResp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return fmt.Errorf("ogsi: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ogsi: http %d: %s", httpResp.StatusCode, bytes.TrimSpace(respBody))
+	}
+	var respEnv gsi.Envelope
+	if err := json.Unmarshal(respBody, &respEnv); err != nil {
+		return fmt.Errorf("ogsi: bad response envelope: %w", err)
+	}
+	payload, _, err := c.Trust.Open(&respEnv, c.now())
+	if err != nil {
+		return fmt.Errorf("ogsi: response authentication: %w", err)
+	}
+	var resp response
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		return fmt.Errorf("ogsi: bad response: %w", err)
+	}
+	if !resp.OK {
+		return &RemoteError{Code: resp.Code, Message: resp.Error}
+	}
+	if out != nil && len(resp.Result) > 0 {
+		if err := json.Unmarshal(resp.Result, out); err != nil {
+			return fmt.Errorf("ogsi: unmarshal result: %w", err)
+		}
+	}
+	return nil
+}
+
+// FindServiceData fetches SDEs from a remote service (all of them when no
+// names are given).
+func (c *Client) FindServiceData(ctx context.Context, service string, names ...string) ([]SDE, error) {
+	var out []SDE
+	err := c.Call(ctx, service, "findServiceData", inspectParams{Names: names}, &out)
+	return out, err
+}
+
+// LastChanged fetches the most-recently-changed SDE of a remote service.
+func (c *Client) LastChanged(ctx context.Context, service string) (SDE, error) {
+	var out SDE
+	err := c.Call(ctx, service, "lastChanged", nil, &out)
+	return out, err
+}
+
+// WaitServiceData long-polls a remote SDE until its version exceeds
+// sinceVersion or the server-side timeout lapses (CodeUnavailable — re-arm
+// with the same cursor). This is the OGSI notification pattern without a
+// callback channel: the subscriber holds the connection open.
+func (c *Client) WaitServiceData(ctx context.Context, service, name string, sinceVersion int, timeout time.Duration) (SDE, error) {
+	var out SDE
+	err := c.Call(ctx, service, "waitServiceData", waitParams{
+		Name: name, SinceVersion: sinceVersion, TimeoutSeconds: timeout.Seconds(),
+	}, &out)
+	return out, err
+}
+
+// WatchServiceData re-arms WaitServiceData in a loop, delivering each new
+// version to deliver until ctx ends. Long-poll timeouts are silent
+// re-arms; other errors end the watch and are returned.
+func (c *Client) WatchServiceData(ctx context.Context, service, name string, timeout time.Duration, deliver func(SDE)) error {
+	version := 0
+	for {
+		sde, err := c.WaitServiceData(ctx, service, name, version, timeout)
+		switch {
+		case err == nil:
+			version = sde.Version
+			deliver(sde)
+		case IsRemoteCode(err, CodeUnavailable):
+			// Quiet interval; re-arm.
+		case ctx.Err() != nil:
+			return nil
+		default:
+			return err
+		}
+	}
+}
+
+// RequestTermination extends the soft-state lifetime of a remote resource.
+func (c *Client) RequestTermination(ctx context.Context, service, id string, ttl time.Duration) error {
+	return c.Call(ctx, service, "requestTermination",
+		terminationParams{ID: id, TTLSeconds: ttl.Seconds()}, nil)
+}

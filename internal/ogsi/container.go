@@ -1,0 +1,359 @@
+package ogsi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"neesgrid/internal/gsi"
+)
+
+// Caller identifies the authenticated, authorized origin of a request.
+type Caller struct {
+	// Identity is the Grid identity (base subject of the credential chain).
+	Identity string
+	// Account is the site-local account the gridmap assigned.
+	Account string
+}
+
+// Handler implements one operation of a grid service.
+type Handler func(ctx context.Context, caller Caller, params json.RawMessage) (any, error)
+
+// OpError is a structured service fault with a machine-readable code, so
+// clients can distinguish, e.g., a policy rejection from a missing
+// transaction.
+type OpError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Errf builds an OpError.
+func Errf(code, format string, args ...any) *OpError {
+	return &OpError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// Standard fault codes.
+const (
+	CodeNotFound     = "not-found"
+	CodeDenied       = "denied"
+	CodeBadRequest   = "bad-request"
+	CodeConflict     = "conflict"
+	CodeInternal     = "internal"
+	CodeUnavailable  = "unavailable"
+	CodePolicyReject = "policy-reject"
+)
+
+// Service is one stateful grid service: a set of named operations plus its
+// service data elements and soft-state resources.
+type Service struct {
+	name      string
+	mu        sync.RWMutex
+	ops       map[string]Handler
+	SDEs      *SDEStore
+	Lifetimes *LifetimeManager
+}
+
+// NewService creates an empty service.
+func NewService(name string) *Service {
+	return &Service{
+		name:      name,
+		ops:       make(map[string]Handler),
+		SDEs:      NewSDEStore(),
+		Lifetimes: NewLifetimeManager(),
+	}
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// RegisterOp adds an operation; registering a duplicate name panics (a
+// programming error caught at wiring time).
+func (s *Service) RegisterOp(op string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ops[op]; dup {
+		panic(fmt.Sprintf("ogsi: duplicate op %s.%s", s.name, op))
+	}
+	s.ops[op] = h
+}
+
+func (s *Service) handler(op string) (Handler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.ops[op]
+	return h, ok
+}
+
+// request is the wire form of a service call (carried inside a signed
+// envelope).
+type request struct {
+	Service string          `json:"service"`
+	Op      string          `json:"op"`
+	Params  json.RawMessage `json:"params"`
+	Sent    time.Time       `json:"sent"`
+}
+
+// response is the wire form of a service reply.
+type response struct {
+	OK     bool            `json:"ok"`
+	Code   string          `json:"code,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// inspectParams is the FindServiceData request body.
+type inspectParams struct {
+	Names []string `json:"names"`
+}
+
+// terminationParams is the RequestTermination request body.
+type terminationParams struct {
+	ID         string  `json:"id"`
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// waitParams is the long-poll notification request body.
+type waitParams struct {
+	Name           string  `json:"name"`
+	SinceVersion   int     `json:"since_version"`
+	TimeoutSeconds float64 `json:"timeout_seconds"`
+}
+
+// Container hosts services behind a GSI-secured HTTP endpoint. It is the
+// process-level unit the paper calls an "NTCP server" host: one container
+// per site, hosting that site's services.
+type Container struct {
+	cred    *gsi.Credential
+	trust   *gsi.TrustStore
+	gridmap *gsi.Gridmap
+	clock   func() time.Time
+
+	mu       sync.RWMutex
+	services map[string]*Service
+
+	httpServer *http.Server
+	listener   net.Listener
+	stopReaper chan struct{}
+	reaperOnce sync.Once
+}
+
+// NewContainer creates a container with the given server credential, trust
+// store, and gridmap.
+func NewContainer(cred *gsi.Credential, trust *gsi.TrustStore, gridmap *gsi.Gridmap) *Container {
+	return &Container{
+		cred:     cred,
+		trust:    trust,
+		gridmap:  gridmap,
+		clock:    time.Now,
+		services: make(map[string]*Service),
+	}
+}
+
+// AddService registers a service; duplicate names panic.
+func (c *Container) AddService(s *Service) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.services[s.Name()]; dup {
+		panic(fmt.Sprintf("ogsi: duplicate service %s", s.Name()))
+	}
+	c.services[s.Name()] = s
+}
+
+// Service returns a hosted service by name.
+func (c *Container) Service(name string) (*Service, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.services[name]
+	return s, ok
+}
+
+// Identity returns the container's own Grid identity.
+func (c *Container) Identity() string { return c.cred.Identity() }
+
+// dispatch runs one decoded request.
+func (c *Container) dispatch(ctx context.Context, caller Caller, req *request) *response {
+	svc, ok := c.Service(req.Service)
+	if !ok {
+		return faultResponse(Errf(CodeNotFound, "no service %q", req.Service))
+	}
+	var (
+		result any
+		err    error
+	)
+	switch req.Op {
+	case "findServiceData":
+		var p inspectParams
+		if len(req.Params) > 0 {
+			if uerr := json.Unmarshal(req.Params, &p); uerr != nil {
+				return faultResponse(Errf(CodeBadRequest, "bad inspect params: %v", uerr))
+			}
+		}
+		result = svc.SDEs.Query(p.Names...)
+	case "lastChanged":
+		sde, ok := svc.SDEs.LastChanged()
+		if !ok {
+			return faultResponse(Errf(CodeNotFound, "service %q has no changed data", req.Service))
+		}
+		result = sde
+	case "waitServiceData":
+		var p waitParams
+		if uerr := json.Unmarshal(req.Params, &p); uerr != nil {
+			return faultResponse(Errf(CodeBadRequest, "bad wait params: %v", uerr))
+		}
+		timeout := time.Duration(p.TimeoutSeconds * float64(time.Second))
+		if timeout <= 0 || timeout > 30*time.Second {
+			timeout = 30 * time.Second
+		}
+		waitCtx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		sde, werr := svc.SDEs.WaitChange(waitCtx, p.Name, p.SinceVersion)
+		if werr != nil {
+			// Long-poll timeout: the client re-arms with the same cursor.
+			return faultResponse(Errf(CodeUnavailable, "no change on %q past version %d", p.Name, p.SinceVersion))
+		}
+		result = sde
+	case "requestTermination":
+		var p terminationParams
+		if uerr := json.Unmarshal(req.Params, &p); uerr != nil {
+			return faultResponse(Errf(CodeBadRequest, "bad termination params: %v", uerr))
+		}
+		if !svc.Lifetimes.RequestTermination(p.ID, time.Duration(p.TTLSeconds*float64(time.Second))) {
+			return faultResponse(Errf(CodeNotFound, "no resource %q", p.ID))
+		}
+		result = map[string]bool{"extended": true}
+	default:
+		h, ok := svc.handler(req.Op)
+		if !ok {
+			return faultResponse(Errf(CodeNotFound, "service %q has no op %q", req.Service, req.Op))
+		}
+		result, err = h(ctx, caller, req.Params)
+	}
+	if err != nil {
+		return faultResponse(err)
+	}
+	raw, merr := json.Marshal(result)
+	if merr != nil {
+		return faultResponse(Errf(CodeInternal, "marshal result: %v", merr))
+	}
+	return &response{OK: true, Result: raw}
+}
+
+func faultResponse(err error) *response {
+	var oe *OpError
+	if errors.As(err, &oe) {
+		return &response{OK: false, Code: oe.Code, Error: oe.Message}
+	}
+	return &response{OK: false, Code: CodeInternal, Error: err.Error()}
+}
+
+// ServeHTTP handles one signed service call.
+func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "ogsi: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, "ogsi: read body", http.StatusBadRequest)
+		return
+	}
+	var env gsi.Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		http.Error(w, "ogsi: bad envelope", http.StatusBadRequest)
+		return
+	}
+	payload, identity, err := c.trust.Open(&env, c.clock())
+	if err != nil {
+		c.reply(w, faultResponse(Errf(CodeDenied, "authentication failed: %v", err)))
+		return
+	}
+	account, err := c.gridmap.Authorize(identity)
+	if err != nil {
+		c.reply(w, faultResponse(Errf(CodeDenied, "not authorized: %s", identity)))
+		return
+	}
+	var req request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		c.reply(w, faultResponse(Errf(CodeBadRequest, "bad request: %v", err)))
+		return
+	}
+	resp := c.dispatch(r.Context(), Caller{Identity: identity, Account: account}, &req)
+	c.reply(w, resp)
+}
+
+// reply signs and writes a response envelope.
+func (c *Container) reply(w http.ResponseWriter, resp *response) {
+	raw, err := json.Marshal(resp)
+	if err != nil {
+		http.Error(w, "ogsi: marshal response", http.StatusInternalServerError)
+		return
+	}
+	env, err := gsi.Sign(c.cred, raw)
+	if err != nil {
+		http.Error(w, "ogsi: sign response", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		// Connection-level failure; nothing further to do.
+		return
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop. It
+// returns the bound address. A background reaper sweeps soft-state
+// lifetimes every second.
+func (c *Container) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("ogsi: listen %s: %w", addr, err)
+	}
+	c.listener = ln
+	mux := http.NewServeMux()
+	mux.Handle("/ogsi", c)
+	c.httpServer = &http.Server{Handler: mux}
+	c.stopReaper = make(chan struct{})
+	go func() {
+		c.mu.RLock()
+		services := make([]*Service, 0, len(c.services))
+		for _, s := range c.services {
+			services = append(services, s)
+		}
+		c.mu.RUnlock()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				for _, s := range services {
+					s.Lifetimes.Sweep()
+				}
+			case <-c.stopReaper:
+				return
+			}
+		}
+	}()
+	go func() { _ = c.httpServer.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Stop shuts the container down.
+func (c *Container) Stop(ctx context.Context) error {
+	c.reaperOnce.Do(func() {
+		if c.stopReaper != nil {
+			close(c.stopReaper)
+		}
+	})
+	if c.httpServer != nil {
+		return c.httpServer.Shutdown(ctx)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package ogsi
+
+import (
+	"sync"
+	"time"
+)
+
+// LifetimeManager implements OGSI soft-state lifetime management: resources
+// are registered with a termination time, clients extend it with keepalives
+// (RequestTermination), and an expiry sweep destroys resources whose
+// lifetime lapsed. NTCP transactions and NSDS subscriptions are both
+// soft-state resources.
+type LifetimeManager struct {
+	mu        sync.Mutex
+	deadlines map[string]time.Time
+	onExpire  map[string]func()
+	clock     func() time.Time
+}
+
+// NewLifetimeManager returns an empty manager.
+func NewLifetimeManager() *LifetimeManager {
+	return &LifetimeManager{
+		deadlines: make(map[string]time.Time),
+		onExpire:  make(map[string]func()),
+		clock:     time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (lm *LifetimeManager) SetClock(clock func() time.Time) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.clock = clock
+}
+
+// Register adds a resource with an initial time-to-live and an optional
+// expiry callback (invoked outside the lock by Sweep).
+func (lm *LifetimeManager) Register(id string, ttl time.Duration, onExpire func()) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.deadlines[id] = lm.clock().Add(ttl)
+	if onExpire != nil {
+		lm.onExpire[id] = onExpire
+	}
+}
+
+// RequestTermination sets the resource's termination time ttl from now —
+// the OGSI keepalive. It reports whether the resource is still alive.
+func (lm *LifetimeManager) RequestTermination(id string, ttl time.Duration) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if _, ok := lm.deadlines[id]; !ok {
+		return false
+	}
+	lm.deadlines[id] = lm.clock().Add(ttl)
+	return true
+}
+
+// Destroy removes a resource without firing its expiry callback.
+func (lm *LifetimeManager) Destroy(id string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.deadlines, id)
+	delete(lm.onExpire, id)
+}
+
+// Alive reports whether the resource exists and has not expired.
+func (lm *LifetimeManager) Alive(id string) bool {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	dl, ok := lm.deadlines[id]
+	return ok && lm.clock().Before(dl)
+}
+
+// Deadline returns the current termination time.
+func (lm *LifetimeManager) Deadline(id string) (time.Time, bool) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	dl, ok := lm.deadlines[id]
+	return dl, ok
+}
+
+// Sweep destroys every expired resource, invoking expiry callbacks, and
+// returns the ids destroyed.
+func (lm *LifetimeManager) Sweep() []string {
+	lm.mu.Lock()
+	now := lm.clock()
+	var expired []string
+	var callbacks []func()
+	for id, dl := range lm.deadlines {
+		if !now.Before(dl) {
+			expired = append(expired, id)
+			if cb := lm.onExpire[id]; cb != nil {
+				callbacks = append(callbacks, cb)
+			}
+			delete(lm.deadlines, id)
+			delete(lm.onExpire, id)
+		}
+	}
+	lm.mu.Unlock()
+	for _, cb := range callbacks {
+		cb()
+	}
+	return expired
+}
+
+// Run sweeps at the given interval until stop is closed. It is the
+// container's background reaper.
+func (lm *LifetimeManager) Run(interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			lm.Sweep()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Len returns the number of live resources (expired but unswept resources
+// included).
+func (lm *LifetimeManager) Len() int {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return len(lm.deadlines)
+}

@@ -1,0 +1,199 @@
+// Package ogsi implements the Open Grid Services Infrastructure concepts the
+// NEESgrid architecture is built on: stateful services exposing service data
+// elements (SDEs), soft-state lifetime management, service inspection
+// (FindServiceData), and a secured request/response transport.
+//
+// The paper's implementation rode on Globus Toolkit 3 (SOAP/WSDL); this
+// package keeps the stateful-service semantics — which is what the paper
+// actually exercises and credits in its conclusions — over a canonical
+// JSON-over-HTTP wire protocol signed with GSI envelopes (internal/gsi).
+package ogsi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SDE is one service data element: a named, versioned, timestamped value
+// exposed for inspection. NTCP publishes every transaction as an SDE plus a
+// "most recently changed" element (paper §2.1).
+type SDE struct {
+	Name      string          `json:"name"`
+	Value     json.RawMessage `json:"value"`
+	Version   int             `json:"version"`
+	UpdatedAt time.Time       `json:"updated_at"`
+}
+
+// SDEStore is a concurrency-safe collection of service data elements with
+// change tracking.
+type SDEStore struct {
+	mu          sync.RWMutex
+	elements    map[string]SDE
+	lastChanged string
+	clock       func() time.Time
+	watchers    map[int]chan SDE
+	nextWatcher int
+}
+
+// NewSDEStore returns an empty store.
+func NewSDEStore() *SDEStore {
+	return &SDEStore{
+		elements: make(map[string]SDE),
+		clock:    time.Now,
+		watchers: make(map[int]chan SDE),
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (s *SDEStore) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
+}
+
+// Set marshals v and stores it under name, bumping the version.
+func (s *SDEStore) Set(name string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("ogsi: marshal SDE %s: %w", name, err)
+	}
+	s.mu.Lock()
+	prev := s.elements[name]
+	sde := SDE{Name: name, Value: raw, Version: prev.Version + 1, UpdatedAt: s.clock()}
+	s.elements[name] = sde
+	s.lastChanged = name
+	watchers := make([]chan SDE, 0, len(s.watchers))
+	for _, ch := range s.watchers {
+		watchers = append(watchers, ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range watchers {
+		select {
+		case ch <- sde:
+		default: // slow watcher: drop, matching NSDS best-effort semantics
+		}
+	}
+	return nil
+}
+
+// Delete removes an element.
+func (s *SDEStore) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.elements, name)
+	if s.lastChanged == name {
+		s.lastChanged = ""
+	}
+}
+
+// Get returns the element and whether it exists.
+func (s *SDEStore) Get(name string) (SDE, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sde, ok := s.elements[name]
+	return sde, ok
+}
+
+// GetInto unmarshals the element value into out.
+func (s *SDEStore) GetInto(name string, out any) error {
+	sde, ok := s.Get(name)
+	if !ok {
+		return fmt.Errorf("ogsi: no SDE %q", name)
+	}
+	return json.Unmarshal(sde.Value, out)
+}
+
+// Query returns the named elements; with no names it returns every element,
+// sorted by name (FindServiceData semantics).
+func (s *SDEStore) Query(names ...string) []SDE {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []SDE
+	if len(names) == 0 {
+		for _, sde := range s.elements {
+			out = append(out, sde)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return out
+	}
+	for _, n := range names {
+		if sde, ok := s.elements[n]; ok {
+			out = append(out, sde)
+		}
+	}
+	return out
+}
+
+// LastChanged returns the most recently changed element — the SDE the paper
+// uses to monitor server behaviour as a whole.
+func (s *SDEStore) LastChanged() (SDE, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.lastChanged == "" {
+		return SDE{}, false
+	}
+	sde, ok := s.elements[s.lastChanged]
+	return sde, ok
+}
+
+// Len returns the number of elements.
+func (s *SDEStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.elements)
+}
+
+// WaitChange blocks until the named element's version exceeds
+// sinceVersion, the element is first created (sinceVersion 0), or ctx ends.
+// It is the primitive behind the container's long-poll notification op —
+// the OGSI notification-source role.
+func (s *SDEStore) WaitChange(ctx context.Context, name string, sinceVersion int) (SDE, error) {
+	// Subscribe before checking so no update is missed in between.
+	ch, cancel := s.Watch(16)
+	defer cancel()
+	if sde, ok := s.Get(name); ok && sde.Version > sinceVersion {
+		return sde, nil
+	}
+	for {
+		select {
+		case sde, ok := <-ch:
+			if !ok {
+				return SDE{}, fmt.Errorf("ogsi: watch closed")
+			}
+			if sde.Name == name && sde.Version > sinceVersion {
+				return sde, nil
+			}
+			// A flood of other updates can overflow the watch buffer and
+			// drop our element's change; re-check the store directly.
+			if cur, ok := s.Get(name); ok && cur.Version > sinceVersion {
+				return cur, nil
+			}
+		case <-ctx.Done():
+			return SDE{}, ctx.Err()
+		}
+	}
+}
+
+// Watch returns a channel receiving subsequent SDE updates (best effort:
+// slow receivers miss updates rather than blocking the service) and a
+// cancel function.
+func (s *SDEStore) Watch(buffer int) (<-chan SDE, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan SDE, buffer)
+	s.mu.Lock()
+	id := s.nextWatcher
+	s.nextWatcher++
+	s.watchers[id] = ch
+	s.mu.Unlock()
+	return ch, func() {
+		s.mu.Lock()
+		delete(s.watchers, id)
+		s.mu.Unlock()
+	}
+}

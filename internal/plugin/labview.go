@@ -1,0 +1,220 @@
+package plugin
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"neesgrid/internal/control"
+	"neesgrid/internal/core"
+)
+
+// Mini-MOST integration (§3.5): "the main software change was a new NTCP
+// plugin to communicate with LabVIEW. The control code is developed in
+// LabVIEW, with a daemon program for NTCP communications." LabViewDaemon
+// emulates that daemon — a JSON-lines TCP front end over the stepper rig —
+// and LabViewPlugin is the NTCP plugin that speaks to it.
+
+// lvRequest is one JSON-line command to the daemon.
+type lvRequest struct {
+	Cmd string  `json:"cmd"` // "move", "read", "reset"
+	Pos float64 `json:"pos,omitempty"`
+}
+
+// lvResponse is the daemon's JSON-line reply.
+type lvResponse struct {
+	OK     bool    `json:"ok"`
+	Error  string  `json:"error,omitempty"`
+	Pos    float64 `json:"pos"`
+	Force  float64 `json:"force"`
+	Strain float64 `json:"strain"`
+}
+
+// LabViewDaemon serves the daemon protocol over a StepperBeam rig.
+type LabViewDaemon struct {
+	rig *control.StepperBeam
+	mu  sync.Mutex
+	ln  net.Listener
+}
+
+// NewLabViewDaemon wraps the tabletop rig.
+func NewLabViewDaemon(rig *control.StepperBeam) *LabViewDaemon {
+	return &LabViewDaemon{rig: rig}
+}
+
+// Start listens and serves until Close; returns the bound address.
+func (d *LabViewDaemon) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("labview: listen: %w", err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go d.serve(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the daemon.
+func (d *LabViewDaemon) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln != nil {
+		return d.ln.Close()
+	}
+	return nil
+}
+
+func (d *LabViewDaemon) serve(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req lvRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			if encErr := enc.Encode(lvResponse{OK: false, Error: "bad request: " + err.Error()}); encErr != nil {
+				return
+			}
+			continue
+		}
+		if err := enc.Encode(d.handle(&req)); err != nil {
+			return
+		}
+	}
+}
+
+func (d *LabViewDaemon) handle(req *lvRequest) lvResponse {
+	switch req.Cmd {
+	case "move":
+		forces, err := d.rig.Apply([]float64{req.Pos})
+		if err != nil {
+			return lvResponse{OK: false, Error: err.Error()}
+		}
+		return lvResponse{OK: true, Pos: d.rig.Position(), Force: forces[0], Strain: d.rig.Strain()}
+	case "read":
+		return lvResponse{OK: true, Pos: d.rig.Position(), Strain: d.rig.Strain()}
+	case "reset":
+		_ = d.rig.Reset()
+		return lvResponse{OK: true}
+	default:
+		return lvResponse{OK: false, Error: fmt.Sprintf("unknown command %q", req.Cmd)}
+	}
+}
+
+// LabViewPlugin is the Mini-MOST NTCP plugin: one JSON-line round trip per
+// action against the LabVIEW daemon.
+type LabViewPlugin struct {
+	Point string
+	Addr  string
+	// Dial overrides the dialer (fault injection); nil means net.Dial.
+	Dial func(network, addr string) (net.Conn, error)
+
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Validate vetoes unknown points and wrong DOF counts.
+func (p *LabViewPlugin) Validate(_ context.Context, actions []core.Action) error {
+	for _, a := range actions {
+		if a.ControlPoint != p.Point {
+			return fmt.Errorf("unknown control point %q", a.ControlPoint)
+		}
+		if len(a.Displacements) != 1 {
+			return fmt.Errorf("labview channel is single-DOF")
+		}
+	}
+	return nil
+}
+
+func (p *LabViewPlugin) ensure() error {
+	if p.conn != nil {
+		return nil
+	}
+	dial := p.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	conn, err := dial("tcp", p.Addr)
+	if err != nil {
+		return fmt.Errorf("labview: dial %s: %w", p.Addr, err)
+	}
+	p.conn = conn
+	p.sc = bufio.NewScanner(conn)
+	p.enc = json.NewEncoder(conn)
+	return nil
+}
+
+func (p *LabViewPlugin) drop() {
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+}
+
+// Close drops the daemon connection.
+func (p *LabViewPlugin) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drop()
+	return nil
+}
+
+func (p *LabViewPlugin) roundTrip(req *lvRequest) (*lvResponse, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.ensure(); err != nil {
+		return nil, err
+	}
+	if err := p.enc.Encode(req); err != nil {
+		p.drop()
+		return nil, fmt.Errorf("labview: send: %w", err)
+	}
+	if !p.sc.Scan() {
+		p.drop()
+		return nil, fmt.Errorf("labview: connection lost")
+	}
+	var resp lvResponse
+	if err := json.Unmarshal(p.sc.Bytes(), &resp); err != nil {
+		p.drop()
+		return nil, fmt.Errorf("labview: bad response: %w", err)
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("labview: daemon: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Execute performs one move per action against the daemon.
+func (p *LabViewPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	results := make([]core.Result, len(actions))
+	for i, a := range actions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := p.roundTrip(&lvRequest{Cmd: "move", Pos: a.Displacements[0]})
+		if err != nil {
+			return nil, err
+		}
+		results[i] = core.Result{
+			ControlPoint:  a.ControlPoint,
+			Displacements: []float64{resp.Pos},
+			Forces:        []float64{resp.Force},
+		}
+	}
+	return results, nil
+}
+
+var _ core.Plugin = (*LabViewPlugin)(nil)

@@ -1,0 +1,144 @@
+package plugin
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"neesgrid/internal/control"
+	"neesgrid/internal/core"
+)
+
+// ShoreWesternPlugin maps NTCP actions onto the UIUC Shore-Western control
+// system over its TCP protocol (Fig. 9, left site).
+type ShoreWesternPlugin struct {
+	Point string
+	// Client talks to the controller; reconnects internally.
+	Client *control.ShoreWesternClient
+	// MaxDisplacement lets the plugin itself veto oversized commands
+	// before they reach the controller (a second, site-side guard beyond
+	// SitePolicy). 0 disables.
+	MaxDisplacement float64
+}
+
+// Validate vetoes unknown points, wrong DOF counts, and oversized moves.
+func (p *ShoreWesternPlugin) Validate(_ context.Context, actions []core.Action) error {
+	for _, a := range actions {
+		if a.ControlPoint != p.Point {
+			return fmt.Errorf("unknown control point %q", a.ControlPoint)
+		}
+		if len(a.Displacements) != 1 {
+			return fmt.Errorf("shore-western channel is single-DOF")
+		}
+		if p.MaxDisplacement > 0 && abs(a.Displacements[0]) > p.MaxDisplacement {
+			return fmt.Errorf("displacement %g exceeds site limit %g", a.Displacements[0], p.MaxDisplacement)
+		}
+	}
+	return nil
+}
+
+// Execute moves the actuator and reads back position and force.
+func (p *ShoreWesternPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	results := make([]core.Result, len(actions))
+	for i, a := range actions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := p.Client.Move(a.Displacements[0]); err != nil {
+			return nil, fmt.Errorf("shore-western move: %w", err)
+		}
+		pos, force, err := p.Client.Read()
+		if err != nil {
+			return nil, fmt.Errorf("shore-western read: %w", err)
+		}
+		results[i] = core.Result{
+			ControlPoint:  a.ControlPoint,
+			Displacements: []float64{pos},
+			Forces:        []float64{force},
+		}
+	}
+	return results, nil
+}
+
+var _ core.Plugin = (*ShoreWesternPlugin)(nil)
+
+// XPCPlugin drives the CU path of Fig. 9: commands posted to an xPC-style
+// real-time target, outcome collected by polling until settled.
+type XPCPlugin struct {
+	Point  string
+	Target *control.XPCTarget
+	// SettleTimeout bounds the polling wait per action.
+	SettleTimeout time.Duration
+}
+
+// Validate vetoes unknown points and wrong DOF counts.
+func (p *XPCPlugin) Validate(_ context.Context, actions []core.Action) error {
+	for _, a := range actions {
+		if a.ControlPoint != p.Point {
+			return fmt.Errorf("unknown control point %q", a.ControlPoint)
+		}
+		if len(a.Displacements) != 1 {
+			return fmt.Errorf("xpc channel is single-DOF")
+		}
+	}
+	return nil
+}
+
+// Execute posts each action and polls for settlement.
+func (p *XPCPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	timeout := p.SettleTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	results := make([]core.Result, len(actions))
+	for i, a := range actions {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p.Target.SetTarget(a.Displacements[0])
+		pos, force, err := p.Target.WaitSettled(timeout)
+		if err != nil {
+			return nil, fmt.Errorf("xpc: %w", err)
+		}
+		results[i] = core.Result{
+			ControlPoint:  a.ControlPoint,
+			Displacements: []float64{pos},
+			Forces:        []float64{force},
+		}
+	}
+	return results, nil
+}
+
+var _ core.Plugin = (*XPCPlugin)(nil)
+
+// HumanApprovalPlugin wraps another plugin so that every execution requires
+// an explicit approval decision — the §4 operational procedure "a
+// plugin/backend system that required a human to approve each action (used
+// only during initial testing at UIUC)".
+type HumanApprovalPlugin struct {
+	Inner core.Plugin
+	// Approve is consulted per execution; returning false aborts it.
+	Approve func(actions []core.Action) bool
+}
+
+// Validate delegates to the inner plugin.
+func (p *HumanApprovalPlugin) Validate(ctx context.Context, actions []core.Action) error {
+	return p.Inner.Validate(ctx, actions)
+}
+
+// Execute asks for approval, then delegates.
+func (p *HumanApprovalPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	if p.Approve == nil || !p.Approve(actions) {
+		return nil, fmt.Errorf("human approval withheld")
+	}
+	return p.Inner.Execute(ctx, actions)
+}
+
+var _ core.Plugin = (*HumanApprovalPlugin)(nil)
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

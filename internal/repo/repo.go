@@ -1,0 +1,237 @@
+// Package repo couples the NEESgrid metadata service (NMDS) and file
+// management service (NFMS) behind the Façade pattern the paper names
+// (§2.3, Fig. 3), and adds the two auxiliary pieces the paper lists: an
+// ingestion tool that archives data and metadata incrementally as an
+// experiment runs, and a servlet-style bridge between GridFTP and HTTPS so
+// browser-class clients can download experiment data.
+package repo
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"neesgrid/internal/daq"
+	"neesgrid/internal/nfms"
+	"neesgrid/internal/nmds"
+)
+
+// SensorDataSchema is the built-in schema for ingested sensor blocks.
+const SensorDataSchema = "neesgrid.sensor-block"
+
+// ExperimentSchema is the built-in schema for experiment descriptions —
+// "metadata that described each of the three components of the experiment
+// in terms of the structural configuration, material properties, and
+// instrumentation" (§3.3).
+const ExperimentSchema = "neesgrid.experiment"
+
+// Repository is the façade over NMDS + NFMS. Both services remain usable
+// independently, as the paper specifies.
+type Repository struct {
+	Meta  *nmds.Store
+	Files *nfms.Service
+	// Owner is the identity the repository acts as for bootstrap objects.
+	Owner string
+}
+
+// New builds a repository and installs the built-in schemas.
+func New(owner string) (*Repository, error) {
+	r := &Repository{Meta: nmds.NewStore(), Files: nfms.New(), Owner: owner}
+	_, err := r.Meta.Create(owner, SensorDataSchema, nmds.SchemaSchema, nmds.SchemaBody{
+		Fields: map[string]string{
+			"experiment": "string",
+			"site":       "string",
+			"logical":    "string",
+			"channels":   "array",
+			"first_step": "number",
+			"last_step":  "number",
+		},
+		Required: []string{"experiment", "site", "logical"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repo: install sensor schema: %w", err)
+	}
+	_, err = r.Meta.Create(owner, ExperimentSchema, nmds.SchemaSchema, nmds.SchemaBody{
+		Fields: map[string]string{
+			"name":            "string",
+			"description":     "string",
+			"sites":           "array",
+			"structure":       "object",
+			"instrumentation": "array",
+		},
+		Required: []string{"name"},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repo: install experiment schema: %w", err)
+	}
+	return r, nil
+}
+
+// DescribeExperiment stores the pre-experiment metadata (§3.3: uploaded to
+// the repository prior to the experiment).
+func (r *Repository) DescribeExperiment(owner, id string, body map[string]any) (*nmds.Object, error) {
+	return r.Meta.Create(owner, id, ExperimentSchema, body)
+}
+
+// IngestFile uploads one file via a replica target and records a metadata
+// object describing it, linked by logical name.
+func (r *Repository) IngestFile(owner, experiment, site, logical, localPath string, replica nfms.Replica, extra map[string]any) (*nmds.Object, error) {
+	if _, err := r.Files.Upload(owner, logical, localPath, replica); err != nil {
+		return nil, err
+	}
+	body := map[string]any{
+		"experiment": experiment,
+		"site":       site,
+		"logical":    logical,
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	metaID := "data:" + logical
+	obj, err := r.Meta.Create(owner, metaID, SensorDataSchema, body)
+	if err != nil {
+		return nil, fmt.Errorf("repo: metadata for %q: %w", logical, err)
+	}
+	return obj, nil
+}
+
+// Fetch downloads a logical file to localPath.
+func (r *Repository) Fetch(logical, localPath string) error {
+	return r.Files.Download(logical, localPath)
+}
+
+// ---------------------------------------------------------------------------
+// Ingestion tool
+// ---------------------------------------------------------------------------
+
+// Ingestor is the incremental ingestion tool of §2.3/§3.2: it polls a DAQ
+// spool directory and uploads each deposited block to the repository while
+// the experiment is still running.
+type Ingestor struct {
+	Repo       *Repository
+	Spool      *daq.Spool
+	Owner      string
+	Experiment string
+	Site       string
+	// Replica returns the upload target for a block file name.
+	Replica func(blockName string) nfms.Replica
+
+	mu       sync.Mutex
+	uploaded int
+}
+
+// Uploaded returns how many blocks have been ingested.
+func (ing *Ingestor) Uploaded() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.uploaded
+}
+
+// PollOnce ingests every deposited block currently in the spool.
+func (ing *Ingestor) PollOnce() ([]string, error) {
+	return ing.Spool.PollOnce(func(path string) error {
+		block := filepath.Base(path)
+		readings, err := daq.ReadBlock(path)
+		if err != nil {
+			return err
+		}
+		channels := make([]any, 0, 4)
+		seen := make(map[string]bool)
+		firstStep, lastStep := -1, -1
+		for _, rd := range readings {
+			if !seen[rd.Channel] {
+				seen[rd.Channel] = true
+				channels = append(channels, rd.Channel)
+			}
+			if firstStep < 0 || rd.Step < firstStep {
+				firstStep = rd.Step
+			}
+			if rd.Step > lastStep {
+				lastStep = rd.Step
+			}
+		}
+		logical := fmt.Sprintf("%s/%s/%s", ing.Experiment, ing.Site, block)
+		_, err = ing.Repo.IngestFile(ing.Owner, ing.Experiment, ing.Site, logical, path,
+			ing.Replica(block), map[string]any{
+				"channels":   channels,
+				"first_step": firstStep,
+				"last_step":  lastStep,
+			})
+		if err != nil {
+			return err
+		}
+		ing.mu.Lock()
+		ing.uploaded++
+		ing.mu.Unlock()
+		return nil
+	})
+}
+
+// Run polls at the given interval until stop closes, then drains the spool
+// one final time (with a Flush so the tail block is deposited).
+func (ing *Ingestor) Run(interval time.Duration, stop <-chan struct{}) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := ing.PollOnce(); err != nil {
+				return err
+			}
+		case <-stop:
+			if err := ing.Spool.Flush(); err != nil {
+				return err
+			}
+			_, err := ing.PollOnce()
+			return err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GridFTP ↔ HTTPS bridge
+// ---------------------------------------------------------------------------
+
+// Bridge is the servlet of §2.3: GET /files/<logical-name> resolves the
+// logical file through NFMS, fetches it over its native transport, and
+// streams it to the HTTP client.
+type Bridge struct {
+	Repo *Repository
+	// TempDir holds staging copies; defaults to os.TempDir().
+	TempDir string
+}
+
+// ServeHTTP handles /files/<logical>.
+func (b *Bridge) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "bridge: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	logical := strings.TrimPrefix(req.URL.Path, "/files/")
+	if logical == "" || logical == req.URL.Path {
+		http.Error(w, "bridge: want /files/<logical>", http.StatusBadRequest)
+		return
+	}
+	dir := b.TempDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	tmp, err := os.CreateTemp(dir, "bridge-*")
+	if err != nil {
+		http.Error(w, "bridge: staging: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tmpName := tmp.Name()
+	_ = tmp.Close()
+	defer os.Remove(tmpName)
+	if err := b.Repo.Fetch(logical, tmpName); err != nil {
+		http.Error(w, "bridge: "+err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, req, tmpName)
+}

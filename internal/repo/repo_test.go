@@ -1,0 +1,243 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"neesgrid/internal/daq"
+	"neesgrid/internal/gridftp"
+	"neesgrid/internal/nfms"
+)
+
+const owner = "/O=NEES/CN=repo"
+const alice = "/O=NEES/CN=alice"
+
+func gridftpServer(t *testing.T) string {
+	t.Helper()
+	srv, err := gridftp.NewServer(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return addr
+}
+
+func TestNewInstallsSchemas(t *testing.T) {
+	r, err := New(owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{SensorDataSchema, ExperimentSchema} {
+		if _, err := r.Meta.Get(id); err != nil {
+			t.Fatalf("schema %s missing: %v", id, err)
+		}
+	}
+}
+
+func TestDescribeExperimentValidated(t *testing.T) {
+	r, _ := New(owner)
+	if _, err := r.DescribeExperiment(alice, "exp:most", map[string]any{
+		"name":        "MOST",
+		"description": "Multi-site Online Simulation Test",
+		"sites":       []string{"uiuc", "ncsa", "cu"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Missing required "name".
+	if _, err := r.DescribeExperiment(alice, "exp:bad", map[string]any{
+		"description": "no name",
+	}); err == nil {
+		t.Fatal("schema violation accepted")
+	}
+}
+
+func TestIngestFileAndFetch(t *testing.T) {
+	addr := gridftpServer(t)
+	r, _ := New(owner)
+	src := filepath.Join(t.TempDir(), "block.csv")
+	content := []byte("channel,value\nuiuc.lvdt1,0.01\n")
+	if err := os.WriteFile(src, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := r.IngestFile(alice, "most", "uiuc", "most/uiuc/block.csv", src,
+		nfms.Replica{Transport: "gridftp", Addr: addr, Path: "most/uiuc/block.csv"},
+		map[string]any{"channels": []string{"uiuc.lvdt1"}, "first_step": 0, "last_step": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Schema != SensorDataSchema {
+		t.Fatalf("metadata schema = %q", obj.Schema)
+	}
+	var body map[string]any
+	_ = json.Unmarshal(obj.Body, &body)
+	if body["site"] != "uiuc" || body["logical"] != "most/uiuc/block.csv" {
+		t.Fatalf("metadata = %v", body)
+	}
+	dst := filepath.Join(t.TempDir(), "back.csv")
+	if err := r.Fetch("most/uiuc/block.csv", dst); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(dst)
+	if !bytes.Equal(got, content) {
+		t.Fatal("fetched content differs")
+	}
+}
+
+func TestIngestorIncrementalArchival(t *testing.T) {
+	// E9: the §3.2 path — DAQ deposits spool blocks, the ingestion tool
+	// uploads them during the run, metadata lands alongside.
+	addr := gridftpServer(t)
+	r, _ := New(owner)
+	spoolDir := t.TempDir()
+	spool, err := daq.NewSpool(spoolDir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := daq.New("uiuc", 1)
+	pos := 0.0
+	_ = d.AddChannel(daq.Channel{Name: "uiuc.lvdt1", Kind: daq.LVDT, Units: "m", Read: func() float64 { return pos }})
+	d.AttachSpool(spool)
+
+	ing := &Ingestor{
+		Repo: r, Spool: spool, Owner: alice,
+		Experiment: "most", Site: "uiuc",
+		Replica: func(block string) nfms.Replica {
+			return nfms.Replica{Transport: "gridftp", Addr: addr, Path: "most/uiuc/" + block}
+		},
+	}
+
+	// Simulate 10 steps with mid-run ingestion polls.
+	for step := 0; step < 10; step++ {
+		pos = float64(step) * 0.001
+		if _, err := d.Scan(step, float64(step)*0.01); err != nil {
+			t.Fatal(err)
+		}
+		if step == 5 {
+			if _, err := ing.PollOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ing.Uploaded() == 0 {
+		t.Fatal("mid-run ingestion uploaded nothing")
+	}
+	// Final drain.
+	if err := spool.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ing.PollOnce(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 scans at block size 3 -> 4 blocks total.
+	if ing.Uploaded() != 4 {
+		t.Fatalf("uploaded %d blocks, want 4", ing.Uploaded())
+	}
+	// Every block has queryable metadata with step ranges.
+	objs := r.Meta.List(SensorDataSchema)
+	if len(objs) != 4 {
+		t.Fatalf("%d metadata objects", len(objs))
+	}
+	var body map[string]any
+	_ = json.Unmarshal(objs[0].Body, &body)
+	if body["first_step"] == nil || body["channels"] == nil {
+		t.Fatalf("metadata missing step range: %v", body)
+	}
+	// Files are downloadable.
+	entries := r.Files.List()
+	if len(entries) != 4 {
+		t.Fatalf("%d catalog entries", len(entries))
+	}
+	dst := filepath.Join(t.TempDir(), "b.csv")
+	if err := r.Fetch(entries[0].Logical, dst); err != nil {
+		t.Fatal(err)
+	}
+	readings, err := daq.ReadBlock(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) == 0 {
+		t.Fatal("downloaded block empty")
+	}
+}
+
+func TestIngestorRun(t *testing.T) {
+	addr := gridftpServer(t)
+	r, _ := New(owner)
+	spool, _ := daq.NewSpool(t.TempDir(), 2)
+	d := daq.New("cu", 1)
+	_ = d.AddChannel(daq.Channel{Name: "cu.load1", Read: func() float64 { return 5 }})
+	d.AttachSpool(spool)
+	ing := &Ingestor{
+		Repo: r, Spool: spool, Owner: alice, Experiment: "most", Site: "cu",
+		Replica: func(block string) nfms.Replica {
+			return nfms.Replica{Transport: "gridftp", Addr: addr, Path: "most/cu/" + block}
+		},
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- ing.Run(5*time.Millisecond, stop) }()
+	for i := 0; i < 5; i++ {
+		_, _ = d.Scan(i, float64(i)*0.01)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if ing.Uploaded() != 3 { // 5 scans, block 2 -> 2 full + 1 flushed
+		t.Fatalf("uploaded %d", ing.Uploaded())
+	}
+}
+
+func TestBridgeServesLogicalFiles(t *testing.T) {
+	// The §2.3 GridFTP↔HTTPS bridge: browsers download experiment data by
+	// logical name.
+	addr := gridftpServer(t)
+	r, _ := New(owner)
+	src := filepath.Join(t.TempDir(), "d.bin")
+	content := []byte("structure response data")
+	_ = os.WriteFile(src, content, 0o644)
+	if _, err := r.IngestFile(alice, "most", "ncsa", "most/ncsa/d.bin", src,
+		nfms.Replica{Transport: "gridftp", Addr: addr, Path: "most/ncsa/d.bin"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bridge := &Bridge{Repo: r, TempDir: t.TempDir()}
+	ts := httptest.NewServer(bridge)
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/files/most/ncsa/d.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	if !bytes.Equal(got, content) {
+		t.Fatal("bridge content differs")
+	}
+
+	// Missing file -> 404.
+	resp2, _ := ts.Client().Get(ts.URL + "/files/nope")
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("missing file status %d", resp2.StatusCode)
+	}
+	// Bad path -> 400.
+	resp3, _ := ts.Client().Get(ts.URL + "/wrong")
+	_ = resp3.Body.Close()
+	if resp3.StatusCode != 400 {
+		t.Fatalf("bad path status %d", resp3.StatusCode)
+	}
+}

@@ -1,0 +1,90 @@
+package telepresence
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Handler exposes a camera registry over HTTP — the "at least one
+// accessible camera at each site … operated remotely" capability of §3.4:
+//
+//	GET  /cameras                     → camera names
+//	GET  /cameras/<name>/pose         → current PTZ
+//	POST /cameras/<name>/move         → {"pan":dp,"tilt":dt,"zoom":dz} relative move
+//	POST /cameras/<name>/home         → neutral pose
+//	GET  /cameras/<name>/frame?w=&h=  → one synthetic frame (JSON)
+type Handler struct {
+	Registry *Registry
+}
+
+// NewHandler wraps a registry.
+func NewHandler(r *Registry) *Handler { return &Handler{Registry: r} }
+
+func (h *Handler) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ServeHTTP routes the camera API.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/cameras" {
+		h.writeJSON(w, 200, h.Registry.Names())
+		return
+	}
+	rest, ok := strings.CutPrefix(r.URL.Path, "/cameras/")
+	if !ok {
+		h.writeJSON(w, 404, map[string]string{"error": "not found"})
+		return
+	}
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok {
+		h.writeJSON(w, 404, map[string]string{"error": "want /cameras/<name>/<op>"})
+		return
+	}
+	cam, err := h.Registry.Get(name)
+	if err != nil {
+		h.writeJSON(w, 404, map[string]string{"error": err.Error()})
+		return
+	}
+	switch {
+	case op == "pose" && r.Method == http.MethodGet:
+		h.writeJSON(w, 200, cam.Pose())
+	case op == "move" && r.Method == http.MethodPost:
+		var d struct{ Pan, Tilt, Zoom float64 }
+		if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+			h.writeJSON(w, 400, map[string]string{"error": err.Error()})
+			return
+		}
+		h.writeJSON(w, 200, cam.Move(d.Pan, d.Tilt, d.Zoom))
+	case op == "home" && r.Method == http.MethodPost:
+		cam.Home()
+		h.writeJSON(w, 200, cam.Pose())
+	case op == "frame" && r.Method == http.MethodGet:
+		q := r.URL.Query()
+		width := intParam(q.Get("w"), 64)
+		height := intParam(q.Get("h"), 16)
+		frame, err := cam.Capture(width, height)
+		if err != nil {
+			h.writeJSON(w, 400, map[string]string{"error": err.Error()})
+			return
+		}
+		h.writeJSON(w, 200, frame)
+	default:
+		h.writeJSON(w, 404, map[string]string{"error": fmt.Sprintf("no op %q", op)})
+	}
+}
+
+func intParam(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,96 @@
+package telepresence
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// §5, University of Minnesota: "This experiment will also use video and
+// still images as data, using the NEESgrid framework to trigger still image
+// capture." TriggeredCapture turns a camera into a data source: each
+// trigger captures a frame, encodes it as a portable graymap (PGM — the
+// simplest archival raster format), and hands it to a sink (typically a
+// repository ingest).
+
+// EncodePGM writes a frame as binary PGM (P5).
+func EncodePGM(w io.Writer, f *Frame) error {
+	if f.Width <= 0 || f.Height <= 0 || len(f.Pixels) != f.Width*f.Height {
+		return fmt.Errorf("telepresence: malformed frame %dx%d with %d pixels", f.Width, f.Height, len(f.Pixels))
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", f.Width, f.Height); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Pixels)
+	return err
+}
+
+// DecodePGM reads a binary PGM written by EncodePGM.
+func DecodePGM(r io.Reader) (*Frame, error) {
+	var magic string
+	var w, h, maxval int
+	if _, err := fmt.Fscanf(r, "%s\n%d %d\n%d\n", &magic, &w, &h, &maxval); err != nil {
+		return nil, fmt.Errorf("telepresence: pgm header: %w", err)
+	}
+	if magic != "P5" || maxval != 255 || w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("telepresence: unsupported pgm %q maxval %d", magic, maxval)
+	}
+	pixels := make([]byte, w*h)
+	if _, err := io.ReadFull(r, pixels); err != nil {
+		return nil, fmt.Errorf("telepresence: pgm pixels: %w", err)
+	}
+	return &Frame{Width: w, Height: h, Pixels: pixels}, nil
+}
+
+// StillSink receives one captured still: its suggested name, encoded PGM
+// bytes, and capture metadata.
+type StillSink func(name string, pgm []byte, meta map[string]any) error
+
+// TriggeredCapture binds a camera to a sink.
+type TriggeredCapture struct {
+	Camera *Camera
+	// Width, Height set the capture raster; defaults 64×16.
+	Width, Height int
+	Sink          StillSink
+
+	captured int
+}
+
+// Trigger captures one still and delivers it. The trigger context (e.g.
+// experiment step) travels in the metadata.
+func (tc *TriggeredCapture) Trigger(step int, t float64) error {
+	if tc.Sink == nil {
+		return fmt.Errorf("telepresence: triggered capture has no sink")
+	}
+	w, h := tc.Width, tc.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	frame, err := tc.Camera.Capture(w, h)
+	if err != nil {
+		return err
+	}
+	var buf strings.Builder
+	if err := EncodePGM(&buf, frame); err != nil {
+		return err
+	}
+	tc.captured++
+	name := fmt.Sprintf("%s/still-%06d.pgm", tc.Camera.Name, frame.Seq)
+	meta := map[string]any{
+		"camera": tc.Camera.Name,
+		"step":   step,
+		"t":      t,
+		"pan":    frame.Pose.Pan,
+		"tilt":   frame.Pose.Tilt,
+		"zoom":   frame.Pose.Zoom,
+		"width":  frame.Width,
+		"height": frame.Height,
+	}
+	return tc.Sink(name, []byte(buf.String()), meta)
+}
+
+// Captured returns how many stills have been taken.
+func (tc *TriggeredCapture) Captured() int { return tc.captured }

@@ -1,0 +1,129 @@
+package telepresence
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neesgrid/internal/nfms"
+	"neesgrid/internal/repo"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	c := NewCamera("cam", func() float64 { return 0.02 })
+	f, err := c.Capture(48, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 48 || got.Height != 12 || !bytes.Equal(got.Pixels, f.Pixels) {
+		t.Fatal("pgm round trip corrupt")
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	if err := EncodePGM(&bytes.Buffer{}, &Frame{Width: 2, Height: 2, Pixels: []byte{1}}); err == nil {
+		t.Fatal("malformed frame encoded")
+	}
+	if _, err := DecodePGM(bytes.NewBufferString("P6\n2 2\n255\nxxxx")); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := DecodePGM(bytes.NewBufferString("P5\n2 2\n255\nx")); err == nil {
+		t.Fatal("short pixel data accepted")
+	}
+}
+
+func TestTriggeredCaptureDeliversStills(t *testing.T) {
+	deflection := 0.0
+	cam := NewCamera("uminn-cam1", func() float64 { return deflection })
+	var names []string
+	var metas []map[string]any
+	tc := &TriggeredCapture{
+		Camera: cam,
+		Sink: func(name string, pgm []byte, meta map[string]any) error {
+			if _, err := DecodePGM(bytes.NewReader(pgm)); err != nil {
+				return err
+			}
+			names = append(names, name)
+			metas = append(metas, meta)
+			return nil
+		},
+	}
+	for step := 0; step < 3; step++ {
+		deflection = float64(step) * 0.01
+		if err := tc.Trigger(step, float64(step)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tc.Captured() != 3 || len(names) != 3 {
+		t.Fatalf("captured %d stills", tc.Captured())
+	}
+	if names[0] == names[1] {
+		t.Fatal("still names not unique")
+	}
+	if metas[2]["step"] != 2 || metas[2]["camera"] != "uminn-cam1" {
+		t.Fatalf("metadata = %v", metas[2])
+	}
+}
+
+func TestTriggeredCaptureNeedsSink(t *testing.T) {
+	tc := &TriggeredCapture{Camera: NewCamera("c", nil)}
+	if err := tc.Trigger(0, 0); err == nil {
+		t.Fatal("trigger without sink accepted")
+	}
+}
+
+// Stills flow into the repository like any other experiment data — image
+// file + metadata record, downloadable afterwards.
+func TestStillsArchivedToRepository(t *testing.T) {
+	r, err := repo.New("/O=NEES/CN=repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := t.TempDir()
+	staging := t.TempDir()
+	cam := NewCamera("uminn-cam1", func() float64 { return 0.015 })
+	tc := &TriggeredCapture{
+		Camera: cam,
+		Sink: func(name string, pgm []byte, meta map[string]any) error {
+			local := filepath.Join(staging, filepath.Base(name))
+			if err := os.WriteFile(local, pgm, 0o644); err != nil {
+				return err
+			}
+			_, err := r.IngestFile("/O=NEES/CN=uminn", "uminn-test", "uminn",
+				"stills/"+name, local,
+				nfms.Replica{Transport: "local", Path: filepath.Join(store, filepath.Base(name))},
+				nil)
+			return err
+		},
+	}
+	for i := 0; i < 2; i++ {
+		if err := tc.Trigger(i, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := r.Files.List()
+	if len(entries) != 2 {
+		t.Fatalf("catalog = %d entries", len(entries))
+	}
+	dst := filepath.Join(t.TempDir(), "back.pgm")
+	if err := r.Fetch(entries[0].Logical, dst); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(dst)
+	frame, err := DecodePGM(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Width == 0 {
+		t.Fatal("archived still unreadable")
+	}
+}

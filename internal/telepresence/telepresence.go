@@ -1,0 +1,178 @@
+// Package telepresence emulates the MOST telepresence system (paper §2.2,
+// §3.4): remotely operable cameras — pan/tilt/zoom control plus a frame
+// feed — that gave the 130 remote participants "a general sense of lab
+// activity". Frames are synthetic renderings of the rig state (a 1-D scene
+// of specimen deflection) rather than video, which exercises the same
+// control and distribution paths.
+package telepresence
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// PTZ is a camera pose.
+type PTZ struct {
+	Pan  float64 `json:"pan"`  // degrees, ±170
+	Tilt float64 `json:"tilt"` // degrees, ±90
+	Zoom float64 `json:"zoom"` // 1..10
+}
+
+// Limits bound camera motion.
+var (
+	panLimit  = 170.0
+	tiltLimit = 90.0
+	zoomMin   = 1.0
+	zoomMax   = 10.0
+)
+
+// Frame is one synthetic camera frame.
+type Frame struct {
+	Camera string    `json:"camera"`
+	Seq    uint64    `json:"seq"`
+	At     time.Time `json:"at"`
+	Pose   PTZ       `json:"pose"`
+	// Pixels is a small synthetic luminance raster of the scene.
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	Pixels []byte `json:"pixels"`
+}
+
+// Camera is one remotely operable camera pointed at a rig.
+type Camera struct {
+	Name string
+	// Scene returns the current specimen deflection (m) the camera "sees".
+	Scene func() float64
+
+	mu   sync.Mutex
+	pose PTZ
+	seq  uint64
+}
+
+// NewCamera creates a camera with a neutral pose.
+func NewCamera(name string, scene func() float64) *Camera {
+	return &Camera{Name: name, Scene: scene, pose: PTZ{Zoom: 1}}
+}
+
+// Pose returns the current pose.
+func (c *Camera) Pose() PTZ {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pose
+}
+
+// Move applies a relative pan/tilt/zoom command, clamped to limits.
+func (c *Camera) Move(dPan, dTilt, dZoom float64) PTZ {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pose.Pan = clamp(c.pose.Pan+dPan, -panLimit, panLimit)
+	c.pose.Tilt = clamp(c.pose.Tilt+dTilt, -tiltLimit, tiltLimit)
+	c.pose.Zoom = clamp(c.pose.Zoom+dZoom, zoomMin, zoomMax)
+	return c.pose
+}
+
+// Home returns the camera to its neutral pose.
+func (c *Camera) Home() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pose = PTZ{Zoom: 1}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Capture renders a synthetic frame: a w×h luminance raster with a bright
+// column whose position tracks the specimen deflection, scaled by zoom.
+// Remote observers literally watch the specimen move.
+func (c *Camera) Capture(w, h int) (*Frame, error) {
+	if w < 4 || h < 4 {
+		return nil, fmt.Errorf("telepresence: frame %dx%d too small", w, h)
+	}
+	c.mu.Lock()
+	pose := c.pose
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+
+	deflection := 0.0
+	if c.Scene != nil {
+		deflection = c.Scene()
+	}
+	// Map deflection (±10 cm at zoom 1) to a column position.
+	visible := 0.1 / pose.Zoom
+	x := (deflection/visible + 1) / 2 * float64(w-1)
+	col := int(math.Round(clamp(x, 0, float64(w-1))))
+
+	pixels := make([]byte, w*h)
+	for row := 0; row < h; row++ {
+		for cx := 0; cx < w; cx++ {
+			d := cx - col
+			if d < 0 {
+				d = -d
+			}
+			v := 255 - 60*d
+			if v < 16 {
+				v = 16 // background
+			}
+			pixels[row*w+cx] = byte(v)
+		}
+	}
+	return &Frame{
+		Camera: c.Name, Seq: seq, At: time.Now(), Pose: pose,
+		Width: w, Height: h, Pixels: pixels,
+	}, nil
+}
+
+// Registry holds the cameras of an experiment (MOST had at least one at
+// each physical site).
+type Registry struct {
+	mu      sync.Mutex
+	cameras map[string]*Camera
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{cameras: make(map[string]*Camera)}
+}
+
+// Add registers a camera.
+func (r *Registry) Add(c *Camera) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.cameras[c.Name]; dup {
+		return fmt.Errorf("telepresence: duplicate camera %q", c.Name)
+	}
+	r.cameras[c.Name] = c
+	return nil
+}
+
+// Get looks a camera up.
+func (r *Registry) Get(name string) (*Camera, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.cameras[name]
+	if !ok {
+		return nil, fmt.Errorf("telepresence: no camera %q", name)
+	}
+	return c, nil
+}
+
+// Names lists registered cameras.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.cameras))
+	for n := range r.cameras {
+		out = append(out, n)
+	}
+	return out
+}

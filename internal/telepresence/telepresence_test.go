@@ -1,0 +1,175 @@
+package telepresence
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMoveClampsToLimits(t *testing.T) {
+	c := NewCamera("uiuc-cam1", nil)
+	pose := c.Move(500, -500, 100)
+	if pose.Pan != 170 || pose.Tilt != -90 || pose.Zoom != 10 {
+		t.Fatalf("pose = %+v", pose)
+	}
+	pose = c.Move(-1000, 1000, -100)
+	if pose.Pan != -170 || pose.Tilt != 90 || pose.Zoom != 1 {
+		t.Fatalf("pose = %+v", pose)
+	}
+	c.Home()
+	if p := c.Pose(); p.Pan != 0 || p.Tilt != 0 || p.Zoom != 1 {
+		t.Fatalf("home pose = %+v", p)
+	}
+}
+
+func TestCaptureTracksScene(t *testing.T) {
+	deflection := 0.0
+	c := NewCamera("cam", func() float64 { return deflection })
+	centerFrame, err := c.Capture(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deflection = 0.05 // half the visible range to the right
+	rightFrame, err := c.Capture(64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brightest(centerFrame) >= brightest(rightFrame) {
+		t.Fatalf("bright column did not move right: %d -> %d",
+			brightest(centerFrame), brightest(rightFrame))
+	}
+	if rightFrame.Seq != centerFrame.Seq+1 {
+		t.Fatal("frame sequence not monotonic")
+	}
+	if len(rightFrame.Pixels) != 64*8 {
+		t.Fatalf("raster size = %d", len(rightFrame.Pixels))
+	}
+}
+
+func TestZoomNarrowsView(t *testing.T) {
+	deflection := 0.04
+	c := NewCamera("cam", func() float64 { return deflection })
+	wide, _ := c.Capture(64, 8)
+	c.Move(0, 0, 9) // zoom to 10x: ±1 cm visible; 4 cm deflection pegs right
+	tight, _ := c.Capture(64, 8)
+	if brightest(tight) <= brightest(wide) {
+		t.Fatalf("zoom did not magnify deflection: %d vs %d", brightest(tight), brightest(wide))
+	}
+	if brightest(tight) != 63 {
+		t.Fatalf("pegged column = %d, want 63", brightest(tight))
+	}
+}
+
+func brightest(f *Frame) int {
+	best, bestV := 0, byte(0)
+	for x := 0; x < f.Width; x++ {
+		if v := f.Pixels[x]; v > bestV {
+			bestV, best = v, x
+		}
+	}
+	return best
+}
+
+func TestCaptureValidation(t *testing.T) {
+	c := NewCamera("cam", nil)
+	if _, err := c.Capture(1, 1); err == nil {
+		t.Fatal("tiny frame accepted")
+	}
+	// Nil scene renders a centered column.
+	f, err := c.Capture(65, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := brightest(f); got != 32 {
+		t.Fatalf("nil scene column = %d, want 32", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(NewCamera("uiuc-cam1", nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(NewCamera("uiuc-cam1", nil)); err == nil {
+		t.Fatal("duplicate camera accepted")
+	}
+	if _, err := r.Get("uiuc-cam1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("nope"); err == nil {
+		t.Fatal("missing camera accepted")
+	}
+	if got := r.Names(); len(got) != 1 {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestHTTPCameraControl(t *testing.T) {
+	reg := NewRegistry()
+	deflection := 0.0
+	_ = reg.Add(NewCamera("uiuc-cam1", func() float64 { return deflection }))
+	ts := httptest.NewServer(NewHandler(reg))
+	defer ts.Close()
+
+	// List cameras.
+	resp, err := http.Get(ts.URL + "/cameras")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	_ = json.NewDecoder(resp.Body).Decode(&names)
+	_ = resp.Body.Close()
+	if len(names) != 1 || names[0] != "uiuc-cam1" {
+		t.Fatalf("cameras = %v", names)
+	}
+
+	// Move (relative) and read back pose.
+	resp, err = http.Post(ts.URL+"/cameras/uiuc-cam1/move", "application/json",
+		strings.NewReader(`{"pan":10,"tilt":-5,"zoom":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pose PTZ
+	_ = json.NewDecoder(resp.Body).Decode(&pose)
+	_ = resp.Body.Close()
+	if pose.Pan != 10 || pose.Tilt != -5 || pose.Zoom != 3 {
+		t.Fatalf("pose = %+v", pose)
+	}
+
+	// Frame capture tracks the specimen.
+	deflection = 0.03
+	resp, err = http.Get(ts.URL + "/cameras/uiuc-cam1/frame?w=32&h=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame Frame
+	_ = json.NewDecoder(resp.Body).Decode(&frame)
+	_ = resp.Body.Close()
+	if frame.Width != 32 || len(frame.Pixels) != 32*4 {
+		t.Fatalf("frame = %dx%d, %d pixels", frame.Width, frame.Height, len(frame.Pixels))
+	}
+
+	// Home.
+	resp, _ = http.Post(ts.URL+"/cameras/uiuc-cam1/home", "application/json", nil)
+	_ = json.NewDecoder(resp.Body).Decode(&pose)
+	_ = resp.Body.Close()
+	if pose.Pan != 0 || pose.Zoom != 1 {
+		t.Fatalf("home pose = %+v", pose)
+	}
+
+	// Errors: unknown camera, unknown op, bad frame size.
+	for _, path := range []string{"/cameras/nope/pose", "/cameras/uiuc-cam1/frob", "/nope"} {
+		resp, _ := http.Get(ts.URL + path)
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+		_ = resp.Body.Close()
+	}
+	resp, _ = http.Get(ts.URL + "/cameras/uiuc-cam1/frame?w=1&h=1")
+	if resp.StatusCode != 400 {
+		t.Fatalf("tiny frame -> %d", resp.StatusCode)
+	}
+	_ = resp.Body.Close()
+}

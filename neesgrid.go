@@ -1,0 +1,247 @@
+// Package neesgrid is the public façade of the NEESgrid reproduction: a
+// Grid-based framework for distributed hybrid earthquake engineering
+// experiments, after Pearlman et al., "Distributed Hybrid Earthquake
+// Engineering Experiments: Experiences with a Ground-Shaking Grid
+// Application" (HPDC-13, 2004).
+//
+// The framework couples physical test rigs (emulated here — see DESIGN.md)
+// and numerical simulations through NTCP, a transaction-based teleoperation
+// control protocol with at-most-once semantics, running over a stateful
+// OGSI-style service container secured with GSI-style credential chains.
+// Around the control core sit the remote-monitoring services (NSDS
+// streaming, telepresence), the data/metadata repository (NMDS + NFMS over
+// GridFTP-style transfer), and a CHEF-style collaboration layer.
+//
+// Quick start (one NTCP transaction against a simulated substructure):
+//
+//	plugin := &neesgrid.SubstructurePlugin{Point: "drift", NDOF: 1,
+//		Apply: func(d []float64) ([]float64, error) {
+//			return []float64{2e6 * d[0]}, nil
+//		}}
+//	server := neesgrid.NewNTCPServer(plugin, nil, neesgrid.NTCPServerOptions{})
+//	rec, _ := server.Propose(ctx, "me", &neesgrid.Proposal{
+//		Name:    "step-1",
+//		Actions: []neesgrid.Action{{ControlPoint: "drift", Displacements: []float64{0.01}}},
+//	})
+//	rec, _ = server.Execute(ctx, "me", "step-1")
+//
+// For a complete three-site distributed experiment, see the most package
+// façade below and examples/most.
+package neesgrid
+
+import (
+	"neesgrid/internal/collab"
+	"neesgrid/internal/control"
+	"neesgrid/internal/coord"
+	"neesgrid/internal/core"
+	"neesgrid/internal/faultnet"
+	"neesgrid/internal/groundmotion"
+	"neesgrid/internal/gsi"
+	"neesgrid/internal/most"
+	"neesgrid/internal/nsds"
+	"neesgrid/internal/ogsi"
+	"neesgrid/internal/structural"
+)
+
+// NTCP protocol surface (internal/core).
+type (
+	// Action requests a control-point move (NTCP).
+	Action = core.Action
+	// Result is a measured control-point state (NTCP).
+	Result = core.Result
+	// Proposal creates an NTCP transaction.
+	Proposal = core.Proposal
+	// TxRecord is the published transaction state.
+	TxRecord = core.Record
+	// TxState enumerates the Fig. 1 transaction states.
+	TxState = core.TxState
+	// Plugin maps NTCP actions onto a local control system.
+	Plugin = core.Plugin
+	// SubstructurePlugin adapts an impose-displacement/measure-force
+	// function into a Plugin.
+	SubstructurePlugin = core.SubstructurePlugin
+	// SitePolicy screens proposals against site limits.
+	SitePolicy = core.SitePolicy
+	// Limits bounds one control point.
+	Limits = core.Limits
+	// NTCPServer is the core transaction server.
+	NTCPServer = core.Server
+	// NTCPServerOptions tunes a server.
+	NTCPServerOptions = core.ServerOptions
+	// NTCPClient drives a remote server with retry.
+	NTCPClient = core.Client
+	// RetryPolicy configures client fault tolerance.
+	RetryPolicy = core.RetryPolicy
+)
+
+// NewNTCPServer builds an NTCP server over a plugin and site policy.
+func NewNTCPServer(p Plugin, policy *SitePolicy, opts NTCPServerOptions) *NTCPServer {
+	return core.NewServer(p, policy, opts)
+}
+
+// NewNTCPClient wraps an OGSI client as an NTCP client.
+func NewNTCPClient(og *OGSIClient, retry RetryPolicy) *NTCPClient {
+	return core.NewClient(og, retry)
+}
+
+// Retry profiles.
+var (
+	// DefaultRetry is the fault-tolerant coordinator profile.
+	DefaultRetry = core.DefaultRetry
+	// NoRetry reproduces the public MOST run's coordinator.
+	NoRetry = core.NoRetry
+)
+
+// Grid substrate (internal/ogsi, internal/gsi).
+type (
+	// Container hosts OGSI services behind a secured endpoint.
+	Container = ogsi.Container
+	// OGSIService is one stateful grid service.
+	OGSIService = ogsi.Service
+	// OGSIClient calls remote services.
+	OGSIClient = ogsi.Client
+	// Authority is a certificate authority.
+	Authority = gsi.Authority
+	// Credential is a key plus its certificate chain.
+	Credential = gsi.Credential
+	// TrustStore validates credential chains.
+	TrustStore = gsi.TrustStore
+	// Gridmap authorizes identities onto local accounts.
+	Gridmap = gsi.Gridmap
+)
+
+// NewAuthority creates a CA for a virtual organization.
+var NewAuthority = gsi.NewAuthority
+
+// NewTrustStore builds a trust store over CA certificates.
+var NewTrustStore = gsi.NewTrustStore
+
+// NewGridmap builds a gridmap from identity → account pairs.
+var NewGridmap = gsi.NewGridmap
+
+// NewContainer hosts services with the given credential, trust, and map.
+var NewContainer = ogsi.NewContainer
+
+// NewOGSIClient builds a client for a container endpoint.
+var NewOGSIClient = ogsi.NewClient
+
+// Structural dynamics (internal/structural, internal/groundmotion).
+type (
+	// Substructure is the impose-displacement/measure-force contract.
+	Substructure = structural.Substructure
+	// FrameConfig parameterizes a MOST-style test frame.
+	FrameConfig = structural.FrameConfig
+	// History is a recorded run response.
+	History = structural.History
+	// GroundMotion is an acceleration record.
+	GroundMotion = groundmotion.Record
+)
+
+// MOSTConfig returns the reference MOST frame parameters.
+var MOSTConfig = structural.MOSTConfig
+
+// MiniMOSTConfig returns the tabletop Mini-MOST parameters.
+var MiniMOSTConfig = structural.MiniMOSTConfig
+
+// ElCentroLike returns the reference synthetic ground-motion config.
+var ElCentroLike = groundmotion.ElCentroLike
+
+// GenerateGroundMotion synthesizes a record.
+var GenerateGroundMotion = groundmotion.Generate
+
+// Experiment harness (internal/most, internal/coord).
+type (
+	// Experiment is a running multi-site topology.
+	Experiment = most.Experiment
+	// ExperimentSpec describes a distributed hybrid experiment.
+	ExperimentSpec = most.Spec
+	// ExperimentResults collects a run's outputs.
+	ExperimentResults = most.Results
+	// ExperimentSite describes one site.
+	ExperimentSite = most.SiteSpec
+	// Fault schedules a network fault.
+	Fault = most.Fault
+	// CoordinatorReport summarizes a run.
+	CoordinatorReport = coord.Report
+	// BackendKind selects a site's realization.
+	BackendKind = most.BackendKind
+)
+
+// Site back ends.
+const (
+	KindSimulation   = most.KindSimulation
+	KindMpluginSim   = most.KindMpluginSim
+	KindShoreWestern = most.KindShoreWestern
+	KindXPC          = most.KindXPC
+	KindLabView      = most.KindLabView
+	KindKinetic      = most.KindKinetic
+)
+
+// Experiment variants.
+const (
+	VariantSimulation = most.VariantSimulation
+	VariantHybrid     = most.VariantHybrid
+)
+
+// BuildExperiment starts a topology.
+var BuildExperiment = most.Build
+
+// MOSTSpec builds the three-site MOST experiment.
+var MOSTSpec = most.MOSTSpec
+
+// DryRunSpec is experiment E1 (completes all 1,500 steps).
+var DryRunSpec = most.DryRunSpec
+
+// PublicRunSpec is experiment E2 (aborts at step 1493).
+var PublicRunSpec = most.PublicRunSpec
+
+// MiniMOSTSpec is experiment E7.
+var MiniMOSTSpec = most.MiniMOSTSpec
+
+// SoilStructureSpec is experiment E12.
+var SoilStructureSpec = most.SoilStructureSpec
+
+// Monitoring and collaboration (internal/nsds, internal/collab).
+type (
+	// StreamHub fans samples out to best-effort subscribers.
+	StreamHub = nsds.Hub
+	// StreamSample is one measurement frame.
+	StreamSample = nsds.Sample
+	// Workspace is the CHEF-style collaboration state.
+	Workspace = collab.Workspace
+	// DataViewer records streams and serves Fig. 8-style series.
+	DataViewer = collab.Viewer
+)
+
+// NewStreamHub returns an empty hub.
+var NewStreamHub = nsds.NewHub
+
+// NewWorkspace returns an empty collaboration workspace.
+var NewWorkspace = collab.NewWorkspace
+
+// NewDataViewer returns a viewer with the given retention.
+var NewDataViewer = collab.NewViewer
+
+// Rig emulation and fault injection (internal/control, internal/faultnet).
+type (
+	// Rig is a one-DOF physical-substructure emulation.
+	Rig = control.Rig
+	// ActuatorConfig parameterizes a servo actuator channel.
+	ActuatorConfig = control.ActuatorConfig
+	// FaultInjector produces scheduled network failures.
+	FaultInjector = faultnet.Injector
+	// NetworkProfile describes steady-state WAN behaviour.
+	NetworkProfile = faultnet.Profile
+)
+
+// NewColumnRig builds a MOST-style column rig.
+var NewColumnRig = control.NewColumnRig
+
+// DefaultActuator returns a typical actuator configuration.
+var DefaultActuator = control.DefaultActuator
+
+// NewFaultInjector builds an injector over a profile.
+var NewFaultInjector = faultnet.NewInjector
+
+// WAN2003 approximates the 2003 Illinois–Colorado path.
+var WAN2003 = faultnet.WAN2003
