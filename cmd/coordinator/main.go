@@ -39,6 +39,7 @@ import (
 	"neesgrid/internal/gsi"
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/structural"
+	"neesgrid/internal/telemetry"
 )
 
 type groundConfig struct {
@@ -112,6 +113,9 @@ func main() {
 		}
 	}
 
+	// One registry across the coordinator and every site client: step
+	// latency and NTCP round trips land in the same run report.
+	reg := telemetry.NewRegistry()
 	totalK := 0.0
 	sites := make([]coord.Site, len(cfg.Sites))
 	for i, s := range cfg.Sites {
@@ -119,7 +123,7 @@ func main() {
 		og := ogsi.NewClient("http://"+s.Addr, cred, trust)
 		sites[i] = coord.Site{
 			Name:         s.Name,
-			Client:       core.NewClient(og, retry),
+			Client:       core.NewClientWithTelemetry(og, retry, reg),
 			ControlPoint: s.Point,
 			DOFs:         []int{0},
 		}
@@ -141,8 +145,9 @@ func main() {
 	co, err := coord.New(coord.Config{
 		M: m, C: damp, K: k,
 		Dt: cfg.Dt, Steps: cfg.Steps,
-		Ground: ground.At,
-		RunID:  cfg.Name,
+		Ground:    ground.At,
+		RunID:     cfg.Name,
+		Telemetry: reg,
 	}, sites...)
 	if err != nil {
 		fatal("coordinator: %v", err)
@@ -160,11 +165,24 @@ func main() {
 	fmt.Printf("coordinator: completed %d/%d steps in %s (recovered %d transient failures, %d retries)\n",
 		report.StepsCompleted, cfg.Steps, report.Elapsed.Round(time.Millisecond),
 		report.Recovered, report.Retries)
+	if sl := report.StepLatency; sl.Count > 0 {
+		fmt.Printf("coordinator: step latency p50=%s p95=%s p99=%s\n",
+			seconds(sl.P50), seconds(sl.P95), seconds(sl.P99))
+	}
+	if rtt, ok := report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
+		fmt.Printf("coordinator: NTCP rtt p50=%s p95=%s p99=%s over %d calls\n",
+			seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
+	}
 	if runErr != nil {
 		fmt.Printf("coordinator: run terminated prematurely at step %d: %v\n",
 			report.FailedStep, runErr)
 		os.Exit(2)
 	}
+}
+
+// seconds renders a histogram value recorded in seconds as a duration.
+func seconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func structuralNaturalFreq(k, m float64) float64 {

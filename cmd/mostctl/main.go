@@ -12,23 +12,32 @@
 //	mostctl -experiment dry-run -variant hybrid     # E3: emulated rigs
 //	mostctl -experiment minimost                    # E7
 //	mostctl -experiment soil-structure              # E12
+//	mostctl metrics -url http://127.0.0.1:8080      # inspect a live container
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/most"
+	"neesgrid/internal/telemetry"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		metricsCmd(os.Args[2:])
+		return
+	}
 	experiment := flag.String("experiment", "dry-run",
 		"dry-run|public-run|minimost|minimost-hw|soil-structure")
 	variant := flag.String("variant", "simulation", "simulation|hybrid (MOST experiments)")
@@ -119,6 +128,7 @@ func main() {
 	fmt.Printf("mostctl: %d/%d steps in %s; recovered %d transient failures (%d injected, %d retries)\n",
 		res.Report.StepsCompleted, totalSteps, time.Since(start).Round(time.Millisecond),
 		res.Report.Recovered, res.InjectedFaults, res.Report.Retries)
+	printRunTelemetry(exp, res)
 	if res.History != nil {
 		fmt.Printf("mostctl: peak drift %.4g m, peak force %.4g N, hysteretic energy %.4g J\n",
 			res.History.PeakDisplacement(0), res.History.PeakForce(0),
@@ -250,6 +260,110 @@ func writeSpectrum(prefix string, spec most.Spec) {
 	})
 	fmt.Printf("mostctl: predominant period %.2f s (frame period %.2f s)\n",
 		s.PeakPeriod(), spec.Frame.Period())
+}
+
+// printRunTelemetry summarizes the run's latency picture: per-step
+// wall-clock, NTCP round-trip (the coordinator-side registry), and per-op
+// request counts from each site's server registry.
+func printRunTelemetry(exp *most.Experiment, res *most.Results) {
+	sl := res.Report.StepLatency
+	if sl.Count > 0 {
+		fmt.Printf("mostctl: step latency  p50=%s p95=%s p99=%s (n=%d)\n",
+			seconds(sl.P50), seconds(sl.P95), seconds(sl.P99), sl.Count)
+	}
+	if rtt, ok := res.Report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
+		fmt.Printf("mostctl: NTCP rtt      p50=%s p95=%s p99=%s (n=%d)\n",
+			seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
+	}
+	for _, site := range exp.Sites {
+		snap := site.Telemetry.Snapshot()
+		fmt.Printf("mostctl: site %-8s proposed=%d executed=%d failed=%d cancelled=%d deduped=%d\n",
+			site.Spec.Name,
+			snap.Counters["ntcp.server.proposed"],
+			snap.Counters["ntcp.server.executed"],
+			snap.Counters["ntcp.server.failed"],
+			snap.Counters["ntcp.server.cancelled"],
+			snap.Counters["ntcp.server.deduped_replays"])
+	}
+}
+
+// metricsCmd fetches and pretty-prints a remote container's /metrics
+// snapshot — the operational view of a live site, no run required.
+func metricsCmd(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	url := fs.String("url", "", "container base URL (e.g. http://127.0.0.1:8080)")
+	events := fs.Int("events", 10, "number of recent events to show (0 = none)")
+	raw := fs.Bool("json", false, "dump the raw JSON snapshot instead")
+	_ = fs.Parse(args)
+	if *url == "" {
+		fatal("metrics: -url required")
+	}
+
+	resp, err := http.Get(*url + "/metrics")
+	if err != nil {
+		fatal("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal("metrics: %s returned %s", *url, resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fatal("metrics: decode: %v", err)
+	}
+	if *raw {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+		return
+	}
+
+	if len(snap.Counters) > 0 {
+		fmt.Println("counters:")
+		for _, name := range snap.CounterNames() {
+			fmt.Printf("  %-45s %d\n", name, snap.Counters[name])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Println("gauges:")
+		names := make([]string, 0, len(snap.Gauges))
+		for n := range snap.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-45s %g\n", name, snap.Gauges[name])
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Println("histograms:")
+		for _, name := range snap.HistogramNames() {
+			h := snap.Histograms[name]
+			fmt.Printf("  %-45s n=%-6d mean=%-9s p50=%-9s p95=%-9s p99=%s\n",
+				name, h.Count, seconds(h.Mean), seconds(h.P50), seconds(h.P95), seconds(h.P99))
+		}
+	}
+	if *events > 0 && len(snap.Events) > 0 {
+		fmt.Println("events:")
+		evs := snap.Events
+		if len(evs) > *events {
+			evs = evs[len(evs)-*events:]
+		}
+		for _, e := range evs {
+			line := fmt.Sprintf("  %s %s/%s", e.TS.Format(time.RFC3339), e.Component, e.Event)
+			if len(e.Fields) > 0 {
+				if b, err := json.Marshal(e.Fields); err == nil {
+					line += " " + string(b)
+				}
+			}
+			fmt.Println(line)
+		}
+	}
+}
+
+// seconds renders a histogram value recorded in seconds as a duration.
+func seconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func fatal(format string, args ...any) {

@@ -28,6 +28,7 @@ import (
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/plugin"
 	"neesgrid/internal/structural"
+	"neesgrid/internal/telemetry"
 )
 
 func main() {
@@ -82,8 +83,10 @@ func main() {
 			*point: {MaxDisplacement: *maxDisp},
 		}}
 	}
-	server := core.NewServer(plug, policy, core.ServerOptions{})
+	reg := telemetry.NewRegistry()
+	server := core.NewServer(plug, policy, core.ServerOptions{Telemetry: reg})
 	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
+	cont.UseTelemetry(reg)
 	cont.AddService(server.Service())
 	bound, err := cont.Start(*addr)
 	if err != nil {
@@ -91,6 +94,8 @@ func main() {
 	}
 	fmt.Printf("ntcpd: site %s serving %q (%s, k=%g) on %s\n",
 		cred.Identity(), *point, *kind, *k, bound)
+	fmt.Printf("ntcpd: metrics at http://%s/metrics (or: mostctl metrics -url http://%s)\n",
+		bound, bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

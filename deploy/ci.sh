@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI gate (ROADMAP tier 1): vet, build, and run the full suite under the
+# race detector. Any failure fails the build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: all gates passed"

@@ -22,6 +22,7 @@ import (
 
 	"neesgrid/internal/core"
 	"neesgrid/internal/structural"
+	"neesgrid/internal/telemetry"
 )
 
 // Site is one experiment site: an NTCP endpoint hosting one substructure.
@@ -66,6 +67,11 @@ type Config struct {
 	// executed theirs — so it is appropriate for rehearsed near-real-time
 	// experiments whose proposals are known to satisfy site policy.
 	FastPath bool
+	// Telemetry receives per-step wall-clock histograms and step events.
+	// Share it with the sites' NTCP clients (NewClientWithTelemetry) and the
+	// run report's summary covers round-trip latency too. Nil allocates a
+	// private registry.
+	Telemetry *telemetry.Registry
 }
 
 // Report summarizes a run — the material of §3.4.
@@ -85,12 +91,20 @@ type Report struct {
 	Recovered int
 	// Retries is the total number of retry attempts across all sites.
 	Retries int
+	// StepLatency summarizes per-step wall-clock time (p50/p95/p99) — the
+	// number that tells you whether the WAN or the rigs dominate a step.
+	StepLatency telemetry.HistogramSnapshot
+	// Telemetry is the coordinator registry snapshot at run end; when the
+	// site clients share the registry it includes their round-trip
+	// histograms and recovery counters.
+	Telemetry telemetry.Snapshot
 }
 
 // Coordinator drives one distributed hybrid experiment.
 type Coordinator struct {
 	cfg   Config
 	sites []Site
+	tel   *telemetry.Registry
 }
 
 // New validates the topology and returns a coordinator.
@@ -135,7 +149,7 @@ func New(cfg Config, sites ...Site) (*Coordinator, error) {
 	if cfg.Integrator == nil {
 		cfg.Integrator = structural.NewExplicitNewmark()
 	}
-	return &Coordinator{cfg: cfg, sites: sites}, nil
+	return &Coordinator{cfg: cfg, sites: sites, tel: telemetry.OrNew(cfg.Telemetry)}, nil
 }
 
 // siteOutcome is one site's response to a step.
@@ -308,16 +322,34 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		},
 	}
 	report := &Report{}
+	stepHist := c.tel.Histogram("coord.step.seconds", telemetry.DefaultLatencyBuckets...)
 	finish := func(err error, failedStep int) (*structural.History, *Report, error) {
 		report.Elapsed = time.Since(start)
 		report.Err = err
 		report.Completed = err == nil
 		report.FailedStep = failedStep
+		// When clients share one telemetry registry their counters already
+		// aggregate across sites; summing per-site Stats would multiply the
+		// totals, so count each registry once.
+		seen := make(map[*telemetry.Registry]bool)
 		for _, s := range c.sites {
+			if reg := s.Client.Telemetry(); seen[reg] {
+				continue
+			} else {
+				seen[reg] = true
+			}
 			st := s.Client.Stats()
 			report.Recovered += st.Recovered
 			report.Retries += st.Retries
 		}
+		if err != nil {
+			c.tel.Counter("coord.steps.failed").Inc()
+			c.tel.Event("coord", "run.failed", map[string]any{
+				"step": failedStep, "error": err.Error(),
+			})
+		}
+		report.StepLatency = stepHist.Snapshot()
+		report.Telemetry = c.tel.Snapshot()
 		return nil, report, err
 	}
 
@@ -337,13 +369,16 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 
 	for s := 1; s <= c.cfg.Steps; s++ {
 		step = s
+		stepStart := time.Now()
 		st, err = c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
+		stepHist.ObserveDuration(time.Since(stepStart))
 		if err != nil {
 			_, rep, ferr := finish(&stepError{step: s, err: err}, s)
 			_ = ferr
 			rep.StepsCompleted = s - 1
 			return hist, rep, &stepError{step: s, err: err}
 		}
+		c.tel.Counter("coord.steps.completed").Inc()
 		hist.Record(st)
 		report.StepsCompleted = s
 		if c.cfg.OnStep != nil {

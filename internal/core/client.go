@@ -4,10 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"neesgrid/internal/ogsi"
+	"neesgrid/internal/telemetry"
 )
 
 // RetryPolicy controls the client side of NTCP fault tolerance: how many
@@ -40,19 +40,27 @@ func (r RetryPolicy) attempts() int {
 	return r.Attempts
 }
 
+// defaultMaxBackoff caps exponential growth when a policy sets no
+// MaxBackoff. Without a cap, repeated doubling overflows time.Duration to a
+// negative value around retry 38, and time.After(negative) fires
+// immediately — turning backoff into a hot retry loop.
+const defaultMaxBackoff = 30 * time.Second
+
 func (r RetryPolicy) delay(retry int) time.Duration {
 	d := r.Backoff
 	if d <= 0 {
 		d = 50 * time.Millisecond
 	}
-	for i := 0; i < retry; i++ {
-		d *= 2
-		if r.MaxBackoff > 0 && d > r.MaxBackoff {
-			return r.MaxBackoff
-		}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
 	}
-	if r.MaxBackoff > 0 && d > r.MaxBackoff {
-		d = r.MaxBackoff
+	// Stop doubling at the cap: the loop exits before d can overflow.
+	for i := 0; i < retry && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
 	}
 	return d
 }
@@ -66,27 +74,55 @@ type ClientStats struct {
 	Recovered int // calls that ultimately succeeded after ≥1 retry
 }
 
-// Client drives a remote NTCP server. Safe for concurrent use.
+// Client drives a remote NTCP server. Safe for concurrent use. Counters and
+// the round-trip histogram live in a telemetry registry (shared with the
+// coordinator when wired, private otherwise); Stats reads them back, so the
+// pre-telemetry API is unchanged.
 type Client struct {
 	og *ogsi.Client
 	// ServiceName defaults to "ntcp".
 	ServiceName string
 	Retry       RetryPolicy
 
-	mu    sync.Mutex
-	stats ClientStats
+	tel       *telemetry.Registry
+	calls     *telemetry.Counter
+	retries   *telemetry.Counter
+	recovered *telemetry.Counter
+	rtt       *telemetry.Histogram
 }
 
-// NewClient wraps an OGSI client as an NTCP client.
+// NewClient wraps an OGSI client as an NTCP client with a private telemetry
+// registry.
 func NewClient(og *ogsi.Client, retry RetryPolicy) *Client {
-	return &Client{og: og, ServiceName: "ntcp", Retry: retry}
+	return NewClientWithTelemetry(og, retry, nil)
 }
+
+// NewClientWithTelemetry wraps an OGSI client as an NTCP client recording
+// into reg (nil allocates a private registry). Metric names: ntcp.client.*.
+func NewClientWithTelemetry(og *ogsi.Client, retry RetryPolicy, reg *telemetry.Registry) *Client {
+	reg = telemetry.OrNew(reg)
+	return &Client{
+		og:          og,
+		ServiceName: "ntcp",
+		Retry:       retry,
+		tel:         reg,
+		calls:       reg.Counter("ntcp.client.calls"),
+		retries:     reg.Counter("ntcp.client.retries"),
+		recovered:   reg.Counter("ntcp.client.recovered"),
+		rtt:         reg.Histogram("ntcp.client.rtt.seconds"),
+	}
+}
+
+// Telemetry exposes the client's metrics registry.
+func (c *Client) Telemetry() *telemetry.Registry { return c.tel }
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Calls:     int(c.calls.Value()),
+		Retries:   int(c.retries.Value()),
+		Recovered: int(c.recovered.Value()),
+	}
 }
 
 // transient reports whether an error is worth retrying: transport failures
@@ -109,25 +145,22 @@ func (c *Client) call(ctx context.Context, op string, params any) (*Record, erro
 	attempts := c.Retry.attempts()
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			c.mu.Lock()
-			c.stats.Retries++
-			c.mu.Unlock()
+			c.retries.Inc()
 			select {
 			case <-time.After(c.Retry.delay(try - 1)):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("ntcp: %s: %w (last error: %v)", op, ctx.Err(), lastErr)
 			}
 		}
-		c.mu.Lock()
-		c.stats.Calls++
-		c.mu.Unlock()
+		c.calls.Inc()
 		var rec Record
+		start := time.Now()
 		err := c.og.Call(ctx, c.ServiceName, op, params, &rec)
+		c.rtt.ObserveDuration(time.Since(start))
 		if err == nil {
 			if try > 0 {
-				c.mu.Lock()
-				c.stats.Recovered++
-				c.mu.Unlock()
+				c.recovered.Inc()
+				c.tel.Event("ntcp-client", "recovered", map[string]any{"op": op, "attempt": try + 1})
 			}
 			return &rec, nil
 		}

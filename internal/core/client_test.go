@@ -48,8 +48,12 @@ func newFixture(t *testing.T, plugin Plugin, policy *SitePolicy) *fixture {
 	return &fixture{ca: ca, trust: trust, addr: addr, server: srv, cred: clientCred}
 }
 
+func (f *fixture) ogsiClient() *ogsi.Client {
+	return ogsi.NewClient("http://"+f.addr, f.cred, f.trust)
+}
+
 func (f *fixture) client(retry RetryPolicy, hc *http.Client) *Client {
-	og := ogsi.NewClient("http://"+f.addr, f.cred, f.trust)
+	og := f.ogsiClient()
 	og.HTTP = hc
 	return NewClient(og, retry)
 }

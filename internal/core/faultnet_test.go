@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"neesgrid/internal/faultnet"
+	"neesgrid/internal/telemetry"
+)
+
+// The fault-tolerance contract, exercised through the real injector: a
+// retrying client rides out a 2-failure transient outage (§3.4's "several
+// transient network failures"), while a NoRetry client — the configuration
+// the public MOST run's coordinator effectively had — dies on the first.
+
+func TestDefaultRetryRecoversThroughInjectedOutage(t *testing.T) {
+	f := newFixture(t, springPlugin(100), nil)
+	in := faultnet.NewInjector(faultnet.LAN)
+	reg := telemetry.NewRegistry()
+	in.UseTelemetry(reg)
+	og := f.ogsiClient()
+	og.HTTP = &http.Client{Transport: faultnet.NewTransport(in)}
+	cl := NewClientWithTelemetry(og, DefaultRetry, reg)
+
+	in.FailNext(2)
+	rec, err := cl.Run(context.Background(), proposal("faultnet-step-1", 0.02))
+	if err != nil {
+		t.Fatalf("DefaultRetry should recover through 2 injected failures: %v", err)
+	}
+	if rec.State != StateExecuted {
+		t.Fatalf("state = %v", rec.State)
+	}
+	st := cl.Stats()
+	if st.Recovered == 0 || st.Retries < 2 {
+		t.Fatalf("stats = %+v, want recovery after ≥2 retries", st)
+	}
+	// Injector and client share the registry: injected faults and the
+	// recoveries they forced are correlated in one snapshot.
+	snap := reg.Snapshot()
+	if snap.Counters["faultnet.injected"] != 2 {
+		t.Fatalf("faultnet.injected = %d", snap.Counters["faultnet.injected"])
+	}
+	if snap.Counters["ntcp.client.recovered"] == 0 {
+		t.Fatal("recovery not visible in shared registry")
+	}
+}
+
+func TestNoRetryDiesOnInjectedFailure(t *testing.T) {
+	f := newFixture(t, springPlugin(100), nil)
+	in := faultnet.NewInjector(faultnet.LAN)
+	og := f.ogsiClient()
+	og.HTTP = &http.Client{Transport: faultnet.NewTransport(in)}
+	cl := NewClient(og, NoRetry)
+
+	in.FailNext(1)
+	if _, err := cl.Run(context.Background(), proposal("faultnet-step-2", 0.02)); err == nil {
+		t.Fatal("NoRetry should fail on an injected transport error")
+	}
+	if st := cl.Stats(); st.Retries != 0 || st.Recovered != 0 {
+		t.Fatalf("NoRetry stats = %+v, want no retries", st)
+	}
+
+	// The same outage cleared: the next attempt goes straight through,
+	// proving the failure was transient, not the server.
+	if _, err := cl.Run(context.Background(), proposal("faultnet-step-3", 0.02)); err != nil {
+		t.Fatalf("post-outage call should succeed: %v", err)
+	}
+}

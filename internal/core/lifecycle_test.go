@@ -1,0 +1,260 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"neesgrid/internal/ogsi"
+)
+
+// slowValidatePlugin holds proposals in StateProposed until released — the
+// window in which a retried Execute used to fall into the default branch and
+// come back as a non-retryable CodeInternal fault.
+type slowValidatePlugin struct {
+	validating chan struct{} // closed when Validate is entered
+	release    chan struct{} // Validate blocks until this closes
+	reject     bool
+	once       sync.Once
+}
+
+func (p *slowValidatePlugin) Validate(context.Context, []Action) error {
+	p.once.Do(func() { close(p.validating) })
+	<-p.release
+	if p.reject {
+		return fmt.Errorf("vetoed")
+	}
+	return nil
+}
+
+func (p *slowValidatePlugin) Execute(_ context.Context, actions []Action) ([]Result, error) {
+	return []Result{{
+		ControlPoint:  actions[0].ControlPoint,
+		Displacements: actions[0].Displacements,
+		Forces:        []float64{1},
+	}}, nil
+}
+
+// TestExecuteDuringProposeWaitsForDecision is the regression test for the
+// lifecycle bug: an Execute racing the original Propose mid-validation must
+// wait for the propose decision and then run, not fault with CodeInternal.
+func TestExecuteDuringProposeWaitsForDecision(t *testing.T) {
+	p := &slowValidatePlugin{validating: make(chan struct{}), release: make(chan struct{})}
+	s := NewServer(p, nil, ServerOptions{})
+	ctx := context.Background()
+
+	proposeDone := make(chan struct{})
+	go func() {
+		defer close(proposeDone)
+		if _, err := s.Propose(ctx, "alice", proposal("t1", 0.01)); err != nil {
+			t.Errorf("propose: %v", err)
+		}
+	}()
+	<-p.validating // transaction is now visible in StateProposed
+
+	execDone := make(chan struct{})
+	var rec *Record
+	var execErr error
+	go func() {
+		defer close(execDone)
+		rec, execErr = s.Execute(ctx, "alice", "t1")
+	}()
+	// Give Execute time to land mid-validation, then let Propose decide.
+	time.Sleep(10 * time.Millisecond)
+	close(p.release)
+	<-proposeDone
+	<-execDone
+
+	if execErr != nil {
+		t.Fatalf("execute during propose: %v", execErr)
+	}
+	if rec.State != StateExecuted {
+		t.Fatalf("state = %s, want executed", rec.State)
+	}
+}
+
+// TestExecuteDuringProposeSeesRejection: the same race against a proposal
+// that validation rejects must surface the rejection as a conflict, still
+// not CodeInternal.
+func TestExecuteDuringProposeSeesRejection(t *testing.T) {
+	p := &slowValidatePlugin{validating: make(chan struct{}), release: make(chan struct{}), reject: true}
+	s := NewServer(p, nil, ServerOptions{})
+	ctx := context.Background()
+
+	go func() { _, _ = s.Propose(ctx, "alice", proposal("t1", 0.01)) }()
+	<-p.validating
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Execute(ctx, "alice", "t1")
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(p.release)
+	err := <-errCh
+	if err == nil {
+		t.Fatal("execute on rejected transaction should fail")
+	}
+	var oe *ogsi.OpError
+	if !errors.As(err, &oe) || oe.Code != ogsi.CodeConflict {
+		t.Fatalf("error = %v, want %s", err, ogsi.CodeConflict)
+	}
+}
+
+// TestExecuteDuringProposeTimesOutTransient: an Execute whose context ends
+// while the propose decision is still pending must fail with
+// CodeUnavailable, which the client retry loop treats as transient.
+func TestExecuteDuringProposeTimesOutTransient(t *testing.T) {
+	p := &slowValidatePlugin{validating: make(chan struct{}), release: make(chan struct{})}
+	s := NewServer(p, nil, ServerOptions{})
+
+	go func() { _, _ = s.Propose(context.Background(), "alice", proposal("t1", 0.01)) }()
+	<-p.validating
+
+	short, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := s.Execute(short, "alice", "t1")
+	var oe *ogsi.OpError
+	if !errors.As(err, &oe) || oe.Code != ogsi.CodeUnavailable {
+		t.Fatalf("error = %v, want %s", err, ogsi.CodeUnavailable)
+	}
+	close(p.release) // let the propose goroutine finish
+}
+
+// TestCancelDuringProposeWaitsForDecision: Cancel racing a mid-validation
+// Propose waits for the decision and then cancels the accepted transaction.
+func TestCancelDuringProposeWaitsForDecision(t *testing.T) {
+	p := &slowValidatePlugin{validating: make(chan struct{}), release: make(chan struct{})}
+	s := NewServer(p, nil, ServerOptions{})
+	ctx := context.Background()
+
+	go func() { _, _ = s.Propose(ctx, "alice", proposal("t1", 0.01)) }()
+	<-p.validating
+
+	recCh := make(chan *Record, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rec, err := s.Cancel(ctx, "alice", "t1")
+		recCh <- rec
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(p.release)
+	if err := <-errCh; err != nil {
+		t.Fatalf("cancel during propose: %v", err)
+	}
+	if rec := <-recCh; rec.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", rec.State)
+	}
+}
+
+// TestProposeExecutePublishRace hammers the propose→execute cycle while a
+// watcher reads the published tx SDEs; under -race this used to flag the
+// server publishing live *Records after dropping its mutex.
+func TestProposeExecutePublishRace(t *testing.T) {
+	s := NewServer(springPlugin(100), nil, ServerOptions{})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Service().SDEs.Query()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("race-%d", i)
+			if _, err := s.Propose(ctx, "alice", proposal(name, 0.01)); err != nil {
+				t.Errorf("propose %s: %v", name, err)
+				return
+			}
+			// Two racing executes: one starts the execution, the other
+			// joins it; both publish snapshots.
+			var inner sync.WaitGroup
+			for j := 0; j < 2; j++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					if _, err := s.Execute(ctx, "alice", name); err != nil {
+						t.Errorf("execute %s: %v", name, err)
+					}
+				}()
+			}
+			inner.Wait()
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if got := s.Stats().Executed; got != 16 {
+		t.Fatalf("executed = %d, want 16", got)
+	}
+}
+
+// TestRetryDelayOverflow: with MaxBackoff 0 and many attempts, the doubling
+// used to overflow time.Duration to a negative value, making time.After fire
+// immediately (a hot retry loop). The cap keeps every delay positive and
+// bounded.
+func TestRetryDelayOverflow(t *testing.T) {
+	r := RetryPolicy{Attempts: 64, Backoff: 50 * time.Millisecond, MaxBackoff: 0}
+	for try := 0; try < 64; try++ {
+		d := r.delay(try)
+		if d <= 0 {
+			t.Fatalf("delay(%d) = %v, want positive", try, d)
+		}
+		if d > defaultMaxBackoff {
+			t.Fatalf("delay(%d) = %v exceeds default cap %v", try, d, defaultMaxBackoff)
+		}
+	}
+	if d := r.delay(63); d != defaultMaxBackoff {
+		t.Fatalf("delay(63) = %v, want capped at %v", d, defaultMaxBackoff)
+	}
+	// An explicit MaxBackoff still wins.
+	r = RetryPolicy{Attempts: 64, Backoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	if d := r.delay(63); d != 100*time.Millisecond {
+		t.Fatalf("delay(63) = %v, want 100ms", d)
+	}
+}
+
+// TestServerTelemetryCounters: outcome counters mirror Stats into the
+// telemetry registry, and plugin-execution latency is recorded.
+func TestServerTelemetryCounters(t *testing.T) {
+	s := NewServer(springPlugin(100), nil, ServerOptions{})
+	ctx := context.Background()
+	_, _ = s.Propose(ctx, "alice", proposal("t1", 0.01))
+	_, _ = s.Execute(ctx, "alice", "t1")
+	_, _ = s.Execute(ctx, "alice", "t1") // replay → dedup
+	snap := s.Telemetry().Snapshot()
+	for name, want := range map[string]int64{
+		"ntcp.server.proposed":        1,
+		"ntcp.server.accepted":        1,
+		"ntcp.server.executed":        1,
+		"ntcp.server.deduped_replays": 1,
+	} {
+		if snap.Counters[name] != want {
+			t.Errorf("%s = %d, want %d", name, snap.Counters[name], want)
+		}
+	}
+	if snap.Histograms["ntcp.server.plugin.execute.seconds"].Count != 1 {
+		t.Errorf("plugin execute histogram = %+v", snap.Histograms["ntcp.server.plugin.execute.seconds"])
+	}
+	if snap.Histograms["ntcp.server.validate.seconds"].Count != 1 {
+		t.Errorf("validate histogram = %+v", snap.Histograms["ntcp.server.validate.seconds"])
+	}
+}

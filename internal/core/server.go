@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"neesgrid/internal/ogsi"
+	"neesgrid/internal/telemetry"
 )
 
 // ServerOptions tunes an NTCP server.
@@ -22,6 +23,11 @@ type ServerOptions struct {
 	DefaultTTL time.Duration
 	// Clock overrides the time source (tests).
 	Clock func() time.Time
+	// Telemetry is the registry the server records outcome counters,
+	// plugin-latency histograms, and lifecycle events into. Nil allocates a
+	// private registry (share one with the hosting container so /metrics
+	// shows server and transport metrics together).
+	Telemetry *telemetry.Registry
 }
 
 func (o *ServerOptions) fill() {
@@ -57,6 +63,7 @@ type Server struct {
 	plugin Plugin
 	policy *SitePolicy
 	svc    *ogsi.Service
+	tel    *telemetry.Registry
 
 	mu      sync.Mutex
 	txs     map[string]*transaction
@@ -65,8 +72,9 @@ type Server struct {
 }
 
 type transaction struct {
-	rec  *Record
-	done chan struct{} // closed when execution reaches a terminal state
+	rec     *Record
+	decided chan struct{} // closed when the propose decision (accept/reject) lands
+	done    chan struct{} // closed when execution reaches a terminal state
 }
 
 // NewServer builds an NTCP server over the given plugin and site policy
@@ -77,6 +85,7 @@ func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
 		opts:    opts,
 		plugin:  plugin,
 		policy:  policy,
+		tel:     telemetry.OrNew(opts.Telemetry),
 		txs:     make(map[string]*transaction),
 		lastPos: make(map[string][]float64),
 	}
@@ -90,6 +99,9 @@ func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
 // Service exposes the underlying OGSI service for container registration.
 func (s *Server) Service() *ogsi.Service { return s.svc }
 
+// Telemetry exposes the server's metrics registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
@@ -99,6 +111,10 @@ func (s *Server) Stats() Stats {
 
 func txSDE(name string) string { return "tx:" + name }
 
+// publish exposes a transaction snapshot as SDEs. rec MUST be a private
+// clone taken while s.mu was held: publish runs outside the lock, and a live
+// *Record can be mutated concurrently by runExecution (the data race the
+// -race suite caught).
 func (s *Server) publish(rec *Record) {
 	_ = s.svc.SDEs.Set(txSDE(rec.Name), rec)
 	_ = s.svc.SDEs.Set("last-transaction", rec.Name)
@@ -107,6 +123,18 @@ func (s *Server) publish(rec *Record) {
 	s.mu.Unlock()
 	_ = s.svc.SDEs.Set("stats", st)
 }
+
+// ntcp.server.* counter names, mirrored from the Stats struct into the
+// telemetry registry so remote /metrics shows the same outcomes.
+const (
+	cProposed  = "ntcp.server.proposed"
+	cAccepted  = "ntcp.server.accepted"
+	cRejected  = "ntcp.server.rejected"
+	cExecuted  = "ntcp.server.executed"
+	cFailed    = "ntcp.server.failed"
+	cCancelled = "ntcp.server.cancelled"
+	cDeduped   = "ntcp.server.deduped_replays"
+)
 
 // Propose handles a proposal with at-most-once semantics: a name already in
 // the transaction table is answered from the table, whatever its state.
@@ -119,6 +147,7 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		s.stats.DedupedReplay++
 		rec := tx.rec.clone()
 		s.mu.Unlock()
+		s.tel.Counter(cDeduped).Inc()
 		return rec, nil
 	}
 	now := s.opts.Clock()
@@ -130,7 +159,7 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		Client:     client,
 		Timestamps: map[TxState]time.Time{StateProposed: now},
 	}
-	tx := &transaction{rec: rec}
+	tx := &transaction{rec: rec, decided: make(chan struct{})}
 	s.txs[p.Name] = tx
 	s.stats.Proposed++
 	lastSnapshot := make(map[string][]float64, len(s.lastPos))
@@ -138,12 +167,15 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		lastSnapshot[k] = v
 	}
 	s.mu.Unlock()
+	s.tel.Counter(cProposed).Inc()
 
 	// Validation happens outside the lock: policy first, then plugin.
+	valStart := time.Now()
 	verdict := s.policy.Check(client, p.Actions, lastSnapshot)
 	if verdict == nil {
 		verdict = s.plugin.Validate(ctx, p.Actions)
 	}
+	s.tel.Histogram("ntcp.server.validate.seconds").ObserveDuration(time.Since(valStart))
 
 	s.mu.Lock()
 	if verdict != nil {
@@ -156,15 +188,26 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		rec.Timestamps[StateAccepted] = s.opts.Clock()
 		s.stats.Accepted++
 	}
+	// Wake any Execute that raced in mid-validation and is waiting for the
+	// propose decision.
+	close(tx.decided)
 	out := rec.clone()
 	s.mu.Unlock()
+	if verdict != nil {
+		s.tel.Counter(cRejected).Inc()
+		s.tel.Event("ntcp", "tx-rejected", map[string]any{"name": p.Name, "error": out.Error})
+	} else {
+		s.tel.Counter(cAccepted).Inc()
+	}
 
 	ttl := s.opts.DefaultTTL
 	if p.TTLSeconds > 0 {
 		ttl = time.Duration(p.TTLSeconds * float64(time.Second))
 	}
 	s.svc.Lifetimes.Register(p.Name, ttl, func() { s.expire(p.Name) })
-	s.publish(rec)
+	// out is a private clone and SDEs.Set marshals synchronously, so
+	// publishing it cannot race with the caller.
+	s.publish(out)
 	return out, nil
 }
 
@@ -186,73 +229,101 @@ func (s *Server) expire(name string) {
 
 // Execute runs an accepted transaction at most once. Concurrent or retried
 // Execute calls for the same name wait for (or pick up) the single
-// execution's outcome.
+// execution's outcome. An Execute that lands mid-validation — a retried
+// request racing the original Propose, or a fast-path replay — waits for the
+// propose decision instead of faulting: before this fix it fell through to a
+// non-retryable CodeInternal, turning a benign race into a terminal error
+// (the class of transient-failure mishandling that ended the public MOST
+// run).
 func (s *Server) Execute(ctx context.Context, client, name string) (*Record, error) {
-	s.mu.Lock()
-	tx, ok := s.txs[name]
-	if !ok {
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
-	}
-	rec := tx.rec
-	if rec.Client != client {
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
-	}
-	switch rec.State {
-	case StateExecuted, StateFailed:
-		s.stats.DedupedReplay++
-		out := rec.clone()
-		s.mu.Unlock()
-		return out, nil
-	case StateRejected, StateCancelled:
-		st := rec.State
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeConflict, "transaction %q is %s", name, st)
-	case StateExecuting:
-		done := tx.done
-		s.stats.DedupedReplay++
-		s.mu.Unlock()
-		select {
-		case <-done:
-			s.mu.Lock()
+	for {
+		s.mu.Lock()
+		tx, ok := s.txs[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+		}
+		rec := tx.rec
+		if rec.Client != client {
+			s.mu.Unlock()
+			return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
+		}
+		switch rec.State {
+		case StateExecuted, StateFailed:
+			s.stats.DedupedReplay++
 			out := rec.clone()
 			s.mu.Unlock()
+			s.tel.Counter(cDeduped).Inc()
 			return out, nil
-		case <-ctx.Done():
-			return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
-		}
-	case StateAccepted:
-		rec.State = StateExecuting
-		rec.Timestamps[StateExecuting] = s.opts.Clock()
-		tx.done = make(chan struct{})
-		done := tx.done
-		actions := append([]Action(nil), rec.Actions...)
-		timeout := s.opts.DefaultExecuteTimeout
-		if rec.Timeout > 0 {
-			timeout = time.Duration(rec.Timeout * float64(time.Second))
-		}
-		s.mu.Unlock()
-		s.publish(rec)
-
-		// Execution deliberately detaches from the request context: once
-		// an action starts against a physical rig it completes (or fails)
-		// regardless of whether the requesting connection survives, and a
-		// retry collects the cached outcome — the at-most-once contract.
-		go s.runExecution(name, actions, timeout, done)
-
-		select {
-		case <-done:
-			s.mu.Lock()
-			out := rec.clone()
+		case StateRejected, StateCancelled:
+			st := rec.State
 			s.mu.Unlock()
-			return out, nil
-		case <-ctx.Done():
-			return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
+			return nil, ogsi.Errf(ogsi.CodeConflict, "transaction %q is %s", name, st)
+		case StateProposed:
+			// Mid-validation: wait for Propose to decide, then re-evaluate.
+			decided := tx.decided
+			s.mu.Unlock()
+			if decided == nil {
+				// No deciding goroutine to wait on (should not happen):
+				// transient, so the client retry loop takes another look.
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q awaiting propose decision", name)
+			}
+			select {
+			case <-decided:
+				continue
+			case <-ctx.Done():
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q awaiting propose decision", name)
+			}
+		case StateExecuting:
+			done := tx.done
+			s.stats.DedupedReplay++
+			s.mu.Unlock()
+			s.tel.Counter(cDeduped).Inc()
+			select {
+			case <-done:
+				s.mu.Lock()
+				out := rec.clone()
+				s.mu.Unlock()
+				return out, nil
+			case <-ctx.Done():
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
+			}
+		case StateAccepted:
+			rec.State = StateExecuting
+			rec.Timestamps[StateExecuting] = s.opts.Clock()
+			tx.done = make(chan struct{})
+			done := tx.done
+			actions := append([]Action(nil), rec.Actions...)
+			timeout := s.opts.DefaultExecuteTimeout
+			if rec.Timeout > 0 {
+				timeout = time.Duration(rec.Timeout * float64(time.Second))
+			}
+			pub := rec.clone()
+			s.mu.Unlock()
+			// Publish the executing snapshot before the execution goroutine
+			// can finish: SDE updates stay ordered and never touch the live
+			// record outside the lock.
+			s.publish(pub)
+
+			// Execution deliberately detaches from the request context: once
+			// an action starts against a physical rig it completes (or fails)
+			// regardless of whether the requesting connection survives, and a
+			// retry collects the cached outcome — the at-most-once contract.
+			go s.runExecution(name, actions, timeout, done)
+
+			select {
+			case <-done:
+				s.mu.Lock()
+				out := rec.clone()
+				s.mu.Unlock()
+				return out, nil
+			case <-ctx.Done():
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q still executing", name)
+			}
+		default:
+			s.mu.Unlock()
+			return nil, ogsi.Errf(ogsi.CodeInternal, "transaction %q in unexpected state %s", name, rec.State)
 		}
-	default:
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeInternal, "transaction %q in unexpected state %s", name, rec.State)
 	}
 }
 
@@ -260,7 +331,9 @@ func (s *Server) runExecution(name string, actions []Action, timeout time.Durati
 	defer close(done)
 	execCtx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	start := time.Now()
 	results, err := s.plugin.Execute(execCtx, actions)
+	s.tel.Histogram("ntcp.server.plugin.execute.seconds").ObserveDuration(time.Since(start))
 
 	s.mu.Lock()
 	tx, ok := s.txs[name]
@@ -284,26 +357,56 @@ func (s *Server) runExecution(name string, actions []Action, timeout time.Durati
 			s.lastPos[r.ControlPoint] = append([]float64(nil), r.Displacements...)
 		}
 	}
+	pub := rec.clone()
 	s.mu.Unlock()
-	s.publish(rec)
+	if err != nil {
+		s.tel.Counter(cFailed).Inc()
+		s.tel.Event("ntcp", "tx-failed", map[string]any{"name": name, "error": err.Error()})
+	} else {
+		s.tel.Counter(cExecuted).Inc()
+	}
+	s.publish(pub)
 }
 
 // Cancel aborts an accepted transaction before execution. Cancelling an
 // already-cancelled or rejected transaction is an idempotent no-op;
 // cancelling one that is executing or executed is a conflict (physical
-// actions cannot be undone — paper §2.1).
-func (s *Server) Cancel(_ context.Context, client, name string) (*Record, error) {
-	s.mu.Lock()
-	tx, ok := s.txs[name]
-	if !ok {
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+// actions cannot be undone — paper §2.1). A cancel racing the original
+// Propose mid-validation waits for the propose decision, like Execute.
+func (s *Server) Cancel(ctx context.Context, client, name string) (*Record, error) {
+	for {
+		s.mu.Lock()
+		tx, ok := s.txs[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, ogsi.Errf(ogsi.CodeNotFound, "no transaction %q", name)
+		}
+		rec := tx.rec
+		if rec.Client != client {
+			s.mu.Unlock()
+			return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
+		}
+		if rec.State == StateProposed {
+			decided := tx.decided
+			s.mu.Unlock()
+			if decided == nil {
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q awaiting propose decision", name)
+			}
+			select {
+			case <-decided:
+				continue
+			case <-ctx.Done():
+				return nil, ogsi.Errf(ogsi.CodeUnavailable, "transaction %q awaiting propose decision", name)
+			}
+		}
+		return s.cancelDecided(tx, name)
 	}
+}
+
+// cancelDecided finishes Cancel once the transaction is past StateProposed.
+// Called with s.mu held; releases it.
+func (s *Server) cancelDecided(tx *transaction, name string) (*Record, error) {
 	rec := tx.rec
-	if rec.Client != client {
-		s.mu.Unlock()
-		return nil, ogsi.Errf(ogsi.CodeDenied, "transaction %q belongs to %q", name, rec.Client)
-	}
 	switch rec.State {
 	case StateAccepted:
 		rec.State = StateCancelled
@@ -311,7 +414,9 @@ func (s *Server) Cancel(_ context.Context, client, name string) (*Record, error)
 		s.stats.Cancelled++
 		out := rec.clone()
 		s.mu.Unlock()
-		s.publish(rec)
+		s.tel.Counter(cCancelled).Inc()
+		s.tel.Event("ntcp", "tx-cancelled", map[string]any{"name": name})
+		s.publish(out)
 		return out, nil
 	case StateCancelled, StateRejected:
 		out := rec.clone()

@@ -15,6 +15,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"neesgrid/internal/telemetry"
 )
 
 // Profile describes steady-state WAN behaviour.
@@ -46,11 +48,23 @@ type Injector struct {
 	outage   bool
 	calls    int
 	injected int
+	tel      *telemetry.Registry
 }
 
 // NewInjector builds an injector over a profile.
 func NewInjector(p Profile) *Injector {
 	return &Injector{profile: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// UseTelemetry mirrors the injector's activity into a shared registry:
+// faultnet.calls / faultnet.injected / faultnet.cuts counters and a
+// faultnet.delay.seconds histogram of applied WAN delay. Sharing the
+// registry with the NTCP clients lets a run correlate injected faults with
+// the retries and recoveries they caused.
+func (in *Injector) UseTelemetry(reg *telemetry.Registry) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.tel = reg
 }
 
 // FailNext makes the next n calls fail with a transport error — a transient
@@ -100,11 +114,30 @@ func (in *Injector) next() (time.Duration, error) {
 	if !fail && in.profile.DropRate > 0 && in.rng.Float64() < in.profile.DropRate {
 		fail = true
 	}
+	if in.tel != nil {
+		in.tel.Counter("faultnet.calls").Inc()
+		if delay > 0 {
+			in.tel.Histogram("faultnet.delay.seconds", telemetry.DefaultLatencyBuckets...).
+				ObserveDuration(delay)
+		}
+	}
 	if fail {
 		in.injected++
+		if in.tel != nil {
+			in.tel.Counter("faultnet.injected").Inc()
+		}
 		return delay, &NetError{Op: "faultnet", Msg: "injected network failure"}
 	}
 	return delay, nil
+}
+
+// recordCut counts a mid-stream connection cut in the shared registry.
+func (in *Injector) recordCut() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.tel != nil {
+		in.tel.Counter("faultnet.cuts").Inc()
+	}
 }
 
 // NetError is the transport error faultnet injects. It satisfies net.Error
@@ -185,6 +218,7 @@ func (c *Conn) Cut() {
 	c.mu.Lock()
 	c.cut = true
 	c.mu.Unlock()
+	c.injector.recordCut()
 	_ = c.Conn.Close()
 }
 

@@ -9,6 +9,8 @@ import (
 	"net/http/httptest"
 	"testing"
 	"time"
+
+	"neesgrid/internal/telemetry"
 )
 
 func TestInjectorFailNext(t *testing.T) {
@@ -184,6 +186,35 @@ func TestConnCutAndDial(t *testing.T) {
 	_, err = conn.Read(buf)
 	if !errors.As(err, &ne) {
 		t.Fatalf("read after cut = %v, want NetError", err)
+	}
+}
+
+func TestInjectorTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	in := NewInjector(Profile{Latency: time.Millisecond})
+	in.UseTelemetry(reg)
+	in.FailNext(1)
+	if _, err := in.next(); err == nil {
+		t.Fatal("first call should fail")
+	}
+	if _, err := in.next(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["faultnet.calls"] != 2 || snap.Counters["faultnet.injected"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Histograms["faultnet.delay.seconds"].Count != 2 {
+		t.Fatalf("delay histogram = %+v", snap.Histograms["faultnet.delay.seconds"])
+	}
+
+	// Mid-stream cuts are counted too.
+	server, client := net.Pipe()
+	defer server.Close()
+	wrapped := WrapConn(client, in)
+	wrapped.Cut()
+	if reg.Counter("faultnet.cuts").Value() != 1 {
+		t.Fatal("cut not counted")
 	}
 }
 

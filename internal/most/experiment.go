@@ -11,6 +11,7 @@ import (
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/gsi"
 	"neesgrid/internal/structural"
+	"neesgrid/internal/telemetry"
 )
 
 // Fault is one scheduled network fault: before step Step executes, Count
@@ -82,6 +83,12 @@ type Experiment struct {
 	Cred  *gsi.Credential // coordinator credential
 	// Viewer aggregates every site's stream for the CHEF data viewers.
 	Viewer *collab.Viewer
+	// Telemetry is the coordinator-side registry: step latency from coord,
+	// NTCP round-trip histograms and recovery counters from every site
+	// client, and fault-injection counters from every site's injector — the
+	// whole WAN picture in one snapshot. (Server-side metrics live in each
+	// Site.Telemetry.)
+	Telemetry *telemetry.Registry
 
 	arch      *archive
 	stopFeeds []func()
@@ -102,13 +109,14 @@ func Build(spec Spec) (*Experiment, error) {
 		return nil, err
 	}
 	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: coordCred,
-		Viewer: collab.NewViewer(0)}
+		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry()}
 	for _, ss := range spec.Sites {
 		site, err := startSite(ca, trust, coordCred.Identity(), ss)
 		if err != nil {
 			exp.Stop()
 			return nil, err
 		}
+		site.Injector.UseTelemetry(exp.Telemetry)
 		exp.Sites = append(exp.Sites, site)
 		sub, err := site.Hub.Subscribe(4096)
 		if err != nil {
@@ -215,6 +223,7 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 		Ground:     ground.At,
 		RunID:      spec.Name,
 		FastPath:   spec.FastPath,
+		Telemetry:  e.Telemetry,
 		OnStep: func(st structural.State) {
 			// Faults scheduled for step N+1 are armed after step N commits.
 			applyFaults(st.Step + 1)
@@ -243,7 +252,7 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 	}
 	sites := make([]coord.Site, len(e.Sites))
 	for i, s := range e.Sites {
-		sites[i] = s.coordSite(e.Cred, e.Trust, spec.Retry)
+		sites[i] = s.coordSite(e.Cred, e.Trust, spec.Retry, e.Telemetry)
 	}
 	co, err := coord.New(cfg, sites...)
 	if err != nil {

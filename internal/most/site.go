@@ -24,6 +24,7 @@ import (
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/plugin"
 	"neesgrid/internal/structural"
+	"neesgrid/internal/telemetry"
 	"neesgrid/internal/telepresence"
 )
 
@@ -101,6 +102,11 @@ type Site struct {
 	DAQ      *daq.DAQ
 	Camera   *telepresence.Camera
 	Rig      *control.Rig
+	// Telemetry is the site-local registry shared by the site's OGSI
+	// container and NTCP server: per-op request counts, fault codes,
+	// dispatch latency, transaction outcomes. Remotely readable via the
+	// container's /metrics endpoint and the service's "metrics" SDE.
+	Telemetry *telemetry.Registry
 
 	container *ogsi.Container
 	cleanup   []func()
@@ -302,7 +308,12 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	if len(spec.DOFs) == 0 {
 		spec.DOFs = []int{0}
 	}
-	site := &Site{Spec: spec, Injector: faultnet.NewInjector(spec.WAN), Hub: nsds.NewHub()}
+	site := &Site{
+		Spec:      spec,
+		Injector:  faultnet.NewInjector(spec.WAN),
+		Hub:       nsds.NewHub(),
+		Telemetry: telemetry.NewRegistry(),
+	}
 
 	backend, err := buildBackend(spec, site)
 	if err != nil {
@@ -316,7 +327,8 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	}
 	gm := gsi.NewGridmap(map[string]string{coordIdentity: "coord"})
 	cont := ogsi.NewContainer(siteCred, trust, gm)
-	server := core.NewServer(rec, spec.Policy, core.ServerOptions{})
+	cont.UseTelemetry(site.Telemetry)
+	server := core.NewServer(rec, spec.Policy, core.ServerOptions{Telemetry: site.Telemetry})
 	cont.AddService(server.Service())
 	addr, err := cont.Start("127.0.0.1:0")
 	if err != nil {
@@ -360,13 +372,16 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	return site, nil
 }
 
-// coordSite binds a running site into the coordinator topology.
-func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core.RetryPolicy) coord.Site {
+// coordSite binds a running site into the coordinator topology. reg is the
+// coordinator-side registry shared across all sites' NTCP clients (and the
+// coordinator itself), so a run reports WAN round-trip latency and recovery
+// counts in one place.
+func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core.RetryPolicy, reg *telemetry.Registry) coord.Site {
 	og := ogsi.NewClient("http://"+s.Addr, cred, trust)
 	og.HTTP = &http.Client{Transport: faultnet.NewTransport(s.Injector)}
 	return coord.Site{
 		Name:         s.Spec.Name,
-		Client:       core.NewClient(og, retry),
+		Client:       core.NewClientWithTelemetry(og, retry, reg),
 		ControlPoint: s.Spec.Point,
 		DOFs:         append([]int(nil), s.Spec.DOFs...),
 	}

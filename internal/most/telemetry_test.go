@@ -1,0 +1,76 @@
+package most
+
+import (
+	"testing"
+
+	"neesgrid/internal/core"
+)
+
+// TestRunTelemetryEndToEnd: after a run, the coordinator-side registry holds
+// per-step latency and NTCP round-trip histograms, and each site's registry
+// holds per-op request counts and transaction outcomes — the observability
+// story of the telemetry subsystem, exercised through the full harness.
+func TestRunTelemetryEndToEnd(t *testing.T) {
+	const steps = 60
+	spec := DryRunSpec(VariantSimulation)
+	spec.Steps = steps
+	spec.Retry = core.DefaultRetry
+	spec.Faults = []Fault{{Step: 20, Site: "uiuc", Count: 2}}
+	exp, res := runSpec(t, spec)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	// Coordinator-side: one step-latency observation per committed step.
+	if res.Report.StepLatency.Count != steps {
+		t.Fatalf("StepLatency.Count = %d, want %d", res.Report.StepLatency.Count, steps)
+	}
+	if res.Report.StepLatency.P95 <= 0 {
+		t.Fatalf("StepLatency percentiles missing: %+v", res.Report.StepLatency)
+	}
+
+	// The report's embedded snapshot covers the site clients (shared
+	// registry): round-trip latency and the recovery from the injected
+	// transient fault.
+	snap := res.Report.Telemetry
+	rtt := snap.Histograms["ntcp.client.rtt.seconds"]
+	if rtt.Count == 0 || rtt.P99 <= 0 {
+		t.Fatalf("rtt histogram = %+v", rtt)
+	}
+	if snap.Counters["coord.steps.completed"] != steps {
+		t.Fatalf("coord.steps.completed = %d", snap.Counters["coord.steps.completed"])
+	}
+	if snap.Counters["ntcp.client.recovered"] == 0 {
+		t.Fatal("injected transient fault should appear as a recovery")
+	}
+	if snap.Counters["faultnet.injected"] != 2 {
+		t.Fatalf("faultnet.injected = %d, want 2", snap.Counters["faultnet.injected"])
+	}
+	if res.Report.Recovered == 0 {
+		t.Fatal("report.Recovered lost the recovery count")
+	}
+	// Three sites share the coordinator registry; dedup must keep Recovered
+	// equal to the aggregate counter, not triple it.
+	if res.Report.Recovered != int(snap.Counters["ntcp.client.recovered"]) {
+		t.Fatalf("Recovered = %d, counter = %d",
+			res.Report.Recovered, snap.Counters["ntcp.client.recovered"])
+	}
+
+	// Site-side: each container/server pair recorded dispatches and
+	// transaction outcomes in its own registry.
+	for _, site := range exp.Sites {
+		s := site.Telemetry.Snapshot()
+		if s.Counters["ogsi.ntcp.propose.requests"] == 0 {
+			t.Fatalf("site %s: no propose dispatches recorded", site.Spec.Name)
+		}
+		// steps+1: the integrator's Init performs a step-0 evaluation.
+		if s.Counters["ntcp.server.executed"] != steps+1 {
+			t.Fatalf("site %s: ntcp.server.executed = %d, want %d",
+				site.Spec.Name, s.Counters["ntcp.server.executed"], steps+1)
+		}
+		h := s.Histograms["ogsi.ntcp.execute.seconds"]
+		if h.Count == 0 {
+			t.Fatalf("site %s: no execute latency recorded", site.Spec.Name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/telemetry"
 )
 
 // Caller identifies the authenticated, authorized origin of a request.
@@ -138,6 +139,7 @@ type Container struct {
 
 	mu       sync.RWMutex
 	services map[string]*Service
+	tel      *telemetry.Registry
 
 	httpServer *http.Server
 	listener   net.Listener
@@ -146,7 +148,11 @@ type Container struct {
 }
 
 // NewContainer creates a container with the given server credential, trust
-// store, and gridmap.
+// store, and gridmap. It records per-service/per-op request counts, fault
+// codes, and latency histograms into a telemetry registry (its own by
+// default; share one via UseTelemetry) and serves the registry snapshot at
+// the /metrics HTTP endpoint and as a computed "metrics" SDE on every
+// hosted service.
 func NewContainer(cred *gsi.Credential, trust *gsi.TrustStore, gridmap *gsi.Gridmap) *Container {
 	return &Container{
 		cred:     cred,
@@ -154,10 +160,32 @@ func NewContainer(cred *gsi.Credential, trust *gsi.TrustStore, gridmap *gsi.Grid
 		gridmap:  gridmap,
 		clock:    time.Now,
 		services: make(map[string]*Service),
+		tel:      telemetry.NewRegistry(),
 	}
 }
 
-// AddService registers a service; duplicate names panic.
+// UseTelemetry replaces the container's registry — the way a site shares one
+// registry between its container and the services it hosts (so /metrics
+// shows transport and service metrics together). Call before traffic flows.
+func (c *Container) UseTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = reg
+}
+
+// Telemetry returns the container's metrics registry.
+func (c *Container) Telemetry() *telemetry.Registry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tel
+}
+
+// AddService registers a service; duplicate names panic. The service gains a
+// computed "metrics" SDE exposing the container's telemetry snapshot, so
+// remote clients can inspect metrics through plain FindServiceData.
 func (c *Container) AddService(s *Service) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -165,6 +193,7 @@ func (c *Container) AddService(s *Service) {
 		panic(fmt.Sprintf("ogsi: duplicate service %s", s.Name()))
 	}
 	c.services[s.Name()] = s
+	s.SDEs.SetComputed("metrics", func() any { return c.Telemetry().Snapshot() })
 }
 
 // Service returns a hosted service by name.
@@ -178,8 +207,25 @@ func (c *Container) Service(name string) (*Service, bool) {
 // Identity returns the container's own Grid identity.
 func (c *Container) Identity() string { return c.cred.Identity() }
 
-// dispatch runs one decoded request.
+// dispatch runs one decoded request, recording per-service/per-op request
+// counts, fault codes, and handler latency.
 func (c *Container) dispatch(ctx context.Context, caller Caller, req *request) *response {
+	tel := c.Telemetry()
+	prefix := "ogsi." + req.Service + "." + req.Op
+	tel.Counter(prefix + ".requests").Inc()
+	start := time.Now()
+	resp := c.dispatchInner(ctx, caller, req)
+	tel.Histogram(prefix + ".seconds").ObserveDuration(time.Since(start))
+	if !resp.OK {
+		tel.Counter(prefix + ".faults." + resp.Code).Inc()
+		tel.Event("ogsi", "fault", map[string]any{
+			"service": req.Service, "op": req.Op, "code": resp.Code, "error": resp.Error,
+		})
+	}
+	return resp
+}
+
+func (c *Container) dispatchInner(ctx context.Context, caller Caller, req *request) *response {
 	svc, ok := c.Service(req.Service)
 	if !ok {
 		return faultResponse(Errf(CodeNotFound, "no service %q", req.Service))
@@ -272,11 +318,13 @@ func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	payload, identity, err := c.trust.Open(&env, c.clock())
 	if err != nil {
+		c.Telemetry().Counter("ogsi.auth.failed").Inc()
 		c.reply(w, faultResponse(Errf(CodeDenied, "authentication failed: %v", err)))
 		return
 	}
 	account, err := c.gridmap.Authorize(identity)
 	if err != nil {
+		c.Telemetry().Counter("ogsi.auth.denied").Inc()
 		c.reply(w, faultResponse(Errf(CodeDenied, "not authorized: %s", identity)))
 		return
 	}
@@ -319,6 +367,7 @@ func (c *Container) Start(addr string) (string, error) {
 	c.listener = ln
 	mux := http.NewServeMux()
 	mux.Handle("/ogsi", c)
+	mux.HandleFunc("/metrics", c.serveMetrics)
 	c.httpServer = &http.Server{Handler: mux}
 	c.stopReaper = make(chan struct{})
 	go func() {
@@ -343,6 +392,20 @@ func (c *Container) Start(addr string) (string, error) {
 	}()
 	go func() { _ = c.httpServer.Serve(ln) }()
 	return ln.Addr().String(), nil
+}
+
+// serveMetrics renders the container's telemetry registry as indented JSON
+// on GET /metrics. Unlike /ogsi it is unsigned: metrics are operational data
+// for dashboards and the mostctl metrics command, not control traffic.
+func (c *Container) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "ogsi: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(c.Telemetry().Snapshot())
 }
 
 // Stop shuts the container down.

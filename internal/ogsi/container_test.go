@@ -156,8 +156,16 @@ func TestFindServiceDataRemote(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sdes) != 2 {
+	// The two stored elements plus the container's computed "metrics" SDE.
+	if len(sdes) != 3 {
 		t.Fatalf("got %d SDEs", len(sdes))
+	}
+	names := map[string]bool{}
+	for _, sde := range sdes {
+		names[sde.Name] = true
+	}
+	if !names["status"] || !names["steps"] || !names["metrics"] {
+		t.Fatalf("SDE names = %v", names)
 	}
 	one, err := f.client.FindServiceData(context.Background(), "echo", "steps")
 	if err != nil {

@@ -33,6 +33,7 @@ type SDE struct {
 type SDEStore struct {
 	mu          sync.RWMutex
 	elements    map[string]SDE
+	computed    map[string]func() any
 	lastChanged string
 	clock       func() time.Time
 	watchers    map[int]chan SDE
@@ -43,9 +44,32 @@ type SDEStore struct {
 func NewSDEStore() *SDEStore {
 	return &SDEStore{
 		elements: make(map[string]SDE),
+		computed: make(map[string]func() any),
 		clock:    time.Now,
 		watchers: make(map[int]chan SDE),
 	}
+}
+
+// SetComputed registers a computed element: its value is produced by fn at
+// read time (Get/Query) rather than stored. Computed elements carry a fixed
+// Version of 1 and never count as "last changed" or wake watchers — they are
+// for always-current introspection data (e.g. the container's "metrics"
+// SDE) whose refresh must not drown out real state-change notifications.
+// A stored element with the same name shadows the computed one.
+func (s *SDEStore) SetComputed(name string, fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.computed[name] = fn
+}
+
+// materialize evaluates a computed element. Called without the lock held so
+// fn may take its own locks freely.
+func (s *SDEStore) materialize(name string, fn func() any) (SDE, bool) {
+	raw, err := json.Marshal(fn())
+	if err != nil {
+		return SDE{}, false
+	}
+	return SDE{Name: name, Value: raw, Version: 1, UpdatedAt: s.clock()}, true
 }
 
 // SetClock overrides the time source (tests).
@@ -80,11 +104,12 @@ func (s *SDEStore) Set(name string, v any) error {
 	return nil
 }
 
-// Delete removes an element.
+// Delete removes an element (stored and computed forms alike).
 func (s *SDEStore) Delete(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.elements, name)
+	delete(s.computed, name)
 	if s.lastChanged == name {
 		s.lastChanged = ""
 	}
@@ -93,9 +118,13 @@ func (s *SDEStore) Delete(name string) {
 // Get returns the element and whether it exists.
 func (s *SDEStore) Get(name string) (SDE, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	sde, ok := s.elements[name]
-	return sde, ok
+	fn := s.computed[name]
+	s.mu.RUnlock()
+	if ok || fn == nil {
+		return sde, ok
+	}
+	return s.materialize(name, fn)
 }
 
 // GetInto unmarshals the element value into out.
@@ -107,21 +136,33 @@ func (s *SDEStore) GetInto(name string, out any) error {
 	return json.Unmarshal(sde.Value, out)
 }
 
-// Query returns the named elements; with no names it returns every element,
-// sorted by name (FindServiceData semantics).
+// Query returns the named elements; with no names it returns every element
+// (stored and computed), sorted by name (FindServiceData semantics).
 func (s *SDEStore) Query(names ...string) []SDE {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []SDE
 	if len(names) == 0 {
+		s.mu.RLock()
+		out := make([]SDE, 0, len(s.elements)+len(s.computed))
 		for _, sde := range s.elements {
 			out = append(out, sde)
+		}
+		pending := make(map[string]func() any, len(s.computed))
+		for n, fn := range s.computed {
+			if _, shadowed := s.elements[n]; !shadowed {
+				pending[n] = fn
+			}
+		}
+		s.mu.RUnlock()
+		for n, fn := range pending {
+			if sde, ok := s.materialize(n, fn); ok {
+				out = append(out, sde)
+			}
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 		return out
 	}
+	var out []SDE
 	for _, n := range names {
-		if sde, ok := s.elements[n]; ok {
+		if sde, ok := s.Get(n); ok {
 			out = append(out, sde)
 		}
 	}
@@ -140,11 +181,17 @@ func (s *SDEStore) LastChanged() (SDE, bool) {
 	return sde, ok
 }
 
-// Len returns the number of elements.
+// Len returns the number of elements, computed ones included.
 func (s *SDEStore) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.elements)
+	n := len(s.elements)
+	for name := range s.computed {
+		if _, shadowed := s.elements[name]; !shadowed {
+			n++
+		}
+	}
+	return n
 }
 
 // WaitChange blocks until the named element's version exceeds

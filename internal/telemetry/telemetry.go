@@ -1,0 +1,405 @@
+// Package telemetry is the observability substrate of the stack: a
+// dependency-free metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with quantile snapshots) plus a bounded in-memory
+// structured event log. Every service wires into a Registry so that a
+// distributed experiment can be observed while it runs — the capability the
+// paper's §3.4 account of the MOST public run leans on (NSDS streaming,
+// per-step monitoring, post-hoc diagnosis of the step-1493 failure) — and so
+// that performance work has latency histograms to steer by.
+//
+// All hot-path operations (Counter.Inc, Histogram.Observe) are lock-free;
+// the registry mutex is only taken when a metric is first created or a
+// snapshot is taken.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored — counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value (queue depth, open connections).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets are the upper bounds (seconds) used when a histogram
+// is created without explicit buckets: 100 µs to 30 s, roughly 1-2.5-5 per
+// decade — wide enough to cover a LAN control loop and a congested WAN step.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations (seconds,
+// for latencies). Observations are lock-free; quantiles are estimated at
+// snapshot time by linear interpolation within the bucket that holds the
+// target rank.
+type Histogram struct {
+	bounds []float64      // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	min    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.min.Load()
+		if v >= math.Float64frombits(old) || h.min.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) || h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Time runs fn and records its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.ObserveDuration(time.Since(start))
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are bucket-interpolated; the
+// overflow (+Inf) bucket is clamped to the observed maximum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	n := h.count.Load()
+	if n == 0 {
+		return HistogramSnapshot{}
+	}
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	snap := HistogramSnapshot{
+		Count: n,
+		Sum:   math.Float64frombits(h.sum.Load()),
+		Min:   math.Float64frombits(h.min.Load()),
+		Max:   math.Float64frombits(h.max.Load()),
+	}
+	snap.Mean = snap.Sum / float64(n)
+	snap.P50 = h.quantile(counts, n, snap, 0.50)
+	snap.P95 = h.quantile(counts, n, snap, 0.95)
+	snap.P99 = h.quantile(counts, n, snap, 0.99)
+	return snap
+}
+
+func (h *Histogram) quantile(counts []int64, n int64, snap HistogramSnapshot, q float64) float64 {
+	rank := q * float64(n)
+	var seen float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		lo := snap.Min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := snap.Max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if seen+float64(c) >= rank {
+			frac := (rank - seen) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(c)
+	}
+	return snap.Max
+}
+
+// Event is one structured event-log entry.
+type Event struct {
+	TS        time.Time      `json:"ts"`
+	Component string         `json:"component"`
+	Event     string         `json:"event"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// EventLog is a bounded ring buffer of events: cheap to append, and old
+// entries are overwritten rather than growing without bound — the post-hoc
+// diagnosis trail for a long run.
+type EventLog struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+	clock   func() time.Time
+}
+
+// NewEventLog returns a ring holding the last capacity events (min 1).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{ring: make([]Event, capacity), clock: time.Now}
+}
+
+// SetClock overrides the time source (tests).
+func (l *EventLog) SetClock(clock func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock = clock
+}
+
+// Record appends an event, evicting the oldest when full.
+func (l *EventLog) Record(component, event string, fields map[string]any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wrapped {
+		l.dropped++
+	}
+	l.ring[l.next] = Event{TS: l.clock(), Component: component, Event: event, Fields: fields}
+	l.next++
+	if l.next == len(l.ring) {
+		l.next = 0
+		l.wrapped = true
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.wrapped {
+		return append([]Event(nil), l.ring[:l.next]...)
+	}
+	out := make([]Event, 0, len(l.ring))
+	out = append(out, l.ring[l.next:]...)
+	out = append(out, l.ring[:l.next]...)
+	return out
+}
+
+// Dropped returns how many events were evicted by the ring.
+func (l *EventLog) Dropped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Registry is a named collection of metrics plus an event log. Metric
+// lookups intern by name, so call sites may re-resolve per use or cache the
+// returned pointer; both are safe and the cached pointer is lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	events   *EventLog
+}
+
+// DefaultEventCapacity bounds a registry's event ring.
+const DefaultEventCapacity = 512
+
+// NewRegistry returns an empty registry with a DefaultEventCapacity ring.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		events:   NewEventLog(DefaultEventCapacity),
+	}
+}
+
+// OrNew returns r, or a fresh private registry when r is nil — the idiom
+// components use so telemetry is always safe to record, wired or not.
+func OrNew(r *Registry) *Registry {
+	if r != nil {
+		return r
+	}
+	return NewRegistry()
+}
+
+// Counter interns and returns the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge interns and returns the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram interns and returns the named histogram. Bounds apply only on
+// first creation; omit them for DefaultLatencyBuckets.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Event appends to the registry's event log.
+func (r *Registry) Event(component, event string, fields map[string]any) {
+	r.events.Record(component, event, fields)
+}
+
+// Events exposes the registry's event log.
+func (r *Registry) Events() *EventLog { return r.events }
+
+// Snapshot is a point-in-time JSON-ready view of a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events     []Event                      `json:"events,omitempty"`
+}
+
+// Snapshot captures every metric and the retained events.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+		Events:     r.events.Events(),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	return snap
+}
+
+// CounterNames returns the sorted counter names of a snapshot — the stable
+// iteration order pretty-printers want.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HistogramNames returns the sorted histogram names of a snapshot.
+func (s Snapshot) HistogramNames() []string {
+	names := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
