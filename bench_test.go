@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -539,4 +540,84 @@ func BenchmarkAblationGSISigning(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAblationChainCache isolates the verified-chain cache: opening
+// envelopes signed by the same proxy chain with the cache enabled (warm
+// digest hit, payload verify only) versus disabled (full per-envelope chain
+// verification, the pre-cache behaviour).
+func BenchmarkAblationChainCache(b *testing.B) {
+	ca, _ := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	cred, _ := ca.Issue("/O=NEES/CN=coord", time.Hour)
+	proxy, _ := cred.Delegate(time.Hour)
+	payload := []byte(`{"service":"ntcp","op":"propose"}`)
+	env, err := gsi.Sign(proxy, payload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Now()
+	run := func(b *testing.B, capacity int) {
+		trust := gsi.NewTrustStore(ca.Cert)
+		trust.SetCacheCapacity(capacity)
+		if _, _, err := trust.Open(env, now); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := trust.Open(env, now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b, gsi.DefaultChainCacheCapacity) })
+	b.Run("uncached", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkE8NtcpParallel measures aggregate NTCP transaction throughput
+// with concurrent coordinator goroutines sharing one site — the fan-in the
+// tuned shared transport and chain cache are sized for.
+func BenchmarkE8NtcpParallel(b *testing.B) {
+	cl := ntcpFixture(b, faultnet.LAN)
+	ctx := context.Background()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rec, err := cl.Run(ctx, &core.Proposal{
+				Name:    fmt.Sprintf("par-%d", seq.Add(1)),
+				Actions: []core.Action{{ControlPoint: "drift", Displacements: []float64{0.001}}},
+			})
+			if err != nil || rec.State != core.StateExecuted {
+				b.Fatalf("%v %v", rec, err)
+			}
+		}
+	})
+}
+
+// BenchmarkE10StreamingBatch measures the same ten-subscriber fan-out as
+// BenchmarkE10Streaming but publishing through PublishBatch in blocks of 16
+// — the DAQ scan-block shape — amortising hub locking across the batch.
+func BenchmarkE10StreamingBatch(b *testing.B) {
+	hub := nsds.NewHub()
+	defer hub.Close()
+	for i := 0; i < 9; i++ {
+		sub, _ := hub.Subscribe(1024)
+		go func() {
+			for range sub.C() {
+			}
+		}()
+	}
+	_, _ = hub.Subscribe(1) // slow consumer: exercises the drop path
+	const batch = 16
+	samples := make([]nsds.Sample, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range samples {
+			samples[j] = nsds.Sample{Channel: "uiuc.disp", T: float64(i*batch + j), Value: 0.01}
+		}
+		hub.PublishBatch(samples)
+	}
+	published, dropped := hub.Stats()
+	b.ReportMetric(float64(dropped)/float64(published), "drop-ratio")
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/s")
 }

@@ -14,4 +14,7 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke (E8/E10 hot paths) =="
+go test -run=NONE -bench 'E8|E10' -benchtime=50x .
+
 echo "ci: all gates passed"

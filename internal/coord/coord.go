@@ -373,10 +373,12 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		st, err = c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
 		stepHist.ObserveDuration(time.Since(stepStart))
 		if err != nil {
+			// One stepError, reported through finish exactly once, so the
+			// failure event and telemetry snapshot are recorded once and the
+			// returned error is the same value the report carries.
 			_, rep, ferr := finish(&stepError{step: s, err: err}, s)
-			_ = ferr
 			rep.StepsCompleted = s - 1
-			return hist, rep, &stepError{step: s, err: err}
+			return hist, rep, ferr
 		}
 		c.tel.Counter("coord.steps.completed").Inc()
 		hist.Record(st)

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"context"
+	"errors"
 	"math"
 	"net/http"
 	"testing"
@@ -575,5 +576,67 @@ func TestMultiAxisRigDistributed(t *testing.T) {
 					hist.States[i].D[dof], refHist.States[i].D[dof])
 			}
 		}
+	}
+}
+
+// failingIntegrator delegates to a real integrator until step failAt, then
+// errors — the shape of a numerical divergence mid-run.
+type failingIntegrator struct {
+	inner  structural.Integrator
+	failAt int
+	n      int
+}
+
+func (f *failingIntegrator) Init(sys *structural.System, dt float64, d0, v0, p0 []float64) (structural.State, error) {
+	return f.inner.Init(sys, dt, d0, v0, p0)
+}
+
+func (f *failingIntegrator) Step(p []float64) (structural.State, error) {
+	f.n++
+	if f.n >= f.failAt {
+		return structural.State{}, errors.New("integrator diverged")
+	}
+	return f.inner.Step(p)
+}
+
+func (f *failingIntegrator) Name() string { return "failing-" + f.inner.Name() }
+
+func TestIntegratorFailureReportedOnce(t *testing.T) {
+	h := newHarness(t, []structural.Element{structural.NewLinearElastic(1e6)}, nil)
+	cfg := sdofConfig(1000, 1e6, 10)
+	cfg.Integrator = &failingIntegrator{inner: structural.NewExplicitNewmark(), failAt: 3}
+	c, err := New(cfg, h.coordSites(core.NoRetry)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, rep, err := c.Run(context.Background())
+	if err == nil {
+		t.Fatal("run must fail")
+	}
+	if StepOf(err) != 3 {
+		t.Fatalf("failing step = %d, want 3", StepOf(err))
+	}
+	// The error returned is the one the report carries — produced by finish
+	// exactly once.
+	if rep.Err != err {
+		t.Fatalf("report.Err (%v) is not the returned error (%v)", rep.Err, err)
+	}
+	if rep.Completed || rep.FailedStep != 3 || rep.StepsCompleted != 2 {
+		t.Fatalf("report %+v", rep)
+	}
+	if hist == nil || hist.Len() != 3 { // init + 2 committed steps
+		t.Fatalf("history len %d, want 3", hist.Len())
+	}
+	failures := 0
+	for _, ev := range rep.Telemetry.Events {
+		if ev.Component == "coord" && ev.Event == "run.failed" {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("run.failed recorded %d times, want exactly once", failures)
+	}
+	if got := rep.Telemetry.Counters["coord.steps.failed"]; got != 1 {
+		t.Fatalf("coord.steps.failed = %d, want 1", got)
 	}
 }

@@ -1,0 +1,326 @@
+package gsi
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChainCacheHitServesSameIdentity(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=coordinator", time.Hour)
+	proxy, _ := cred.Delegate(30 * time.Minute)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+
+	id1, err := ts.VerifyChain(proxy.Chain, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := ts.VerifyChain(proxy.Chain, now.Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 || id1 != "/O=NEES/CN=coordinator" {
+		t.Fatalf("identities %q, %q", id1, id2)
+	}
+	hits, misses := ts.CacheStats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestChainCacheRespectsExpiryAfterCaching(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", 10*time.Minute)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+
+	if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	// Same digest, same chain — but past the leaf's expiry. The cached entry
+	// must not be served.
+	_, err := ts.VerifyChain(cred.Chain, now.Add(time.Hour))
+	if !errors.Is(err, ErrExpired) {
+		t.Fatalf("err = %v, want ErrExpired", err)
+	}
+	// And the expired presentation must not have poisoned anything: back
+	// inside the window the chain verifies again.
+	if _, err := ts.VerifyChain(cred.Chain, now.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainCacheWindowClampedToProxyExpiry(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	proxy, _ := cred.Delegate(5 * time.Minute) // shortest cert in the chain
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+
+	if _, err := ts.VerifyChain(proxy.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	// 10 minutes out the proxy is expired even though identity cert and CA
+	// are fine; a cached verdict must not outlive the shortest window.
+	if _, err := ts.VerifyChain(proxy.Chain, now.Add(10*time.Minute)); !errors.Is(err, ErrExpired) {
+		t.Fatalf("err past proxy expiry = %v, want ErrExpired", err)
+	}
+}
+
+func TestChainCacheTamperAfterCachingFails(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+
+	if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	// In-place tamper of the very certificate that was just verified and
+	// cached: the digest changes, the cache misses, and the slow path must
+	// recompute the canonical encoding (not reuse the memoized one) and
+	// reject the signature.
+	cred.Leaf().Subject = "/O=NEES/CN=admin"
+	if _, err := ts.VerifyChain(cred.Chain, now); err == nil {
+		t.Fatal("tampered chain verified after a valid entry was cached")
+	}
+	hits, _ := ts.CacheStats()
+	if hits != 0 {
+		t.Fatalf("tampered chain produced a cache hit (hits=%d)", hits)
+	}
+}
+
+func TestChainCacheTamperedSignatureMisses(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+	if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	cred.Leaf().Signature[0] ^= 0xff
+	if _, err := ts.VerifyChain(cred.Chain, now); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestChainCacheNeverCachesFailures(t *testing.T) {
+	ca := newTestCA(t)
+	rogue, _ := NewAuthority("/O=Rogue/CN=CA", time.Hour)
+	cred, _ := rogue.Issue("/O=Rogue/CN=mallory", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := ts.VerifyChain(cred.Chain, now); !errors.Is(err, ErrUntrusted) {
+			t.Fatalf("attempt %d: err = %v, want ErrUntrusted", i, err)
+		}
+	}
+	hits, misses := ts.CacheStats()
+	if hits != 0 || misses != 3 {
+		t.Fatalf("hits=%d misses=%d, want 0/3", hits, misses)
+	}
+}
+
+func TestChainCacheDisabled(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	ts.SetCacheCapacity(0)
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := ts.CacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestChainCacheEvictionAtCapacity(t *testing.T) {
+	ca := newTestCA(t)
+	ts := NewTrustStore(ca.Cert)
+	ts.SetCacheCapacity(2)
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		cred, _ := ca.Issue(fmt.Sprintf("/O=NEES/CN=site-%d", i), time.Hour)
+		if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts.cache.mu.RLock()
+	n := len(ts.cache.entries)
+	ts.cache.mu.RUnlock()
+	if n > 2 {
+		t.Fatalf("cache holds %d entries, capacity 2", n)
+	}
+}
+
+func TestChainCacheObserver(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	var mu sync.Mutex
+	var hits, misses int
+	ts.SetCacheObserver(func(hit bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if hit {
+			hits++
+		} else {
+			misses++
+		}
+	})
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("observer saw hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+// TestChainCacheConcurrentOpen drives many goroutines through Open on the
+// same trust store — a mix of valid, expired, and tampered envelopes — and
+// is meaningful under -race.
+func TestChainCacheConcurrentOpen(t *testing.T) {
+	ca := newTestCA(t)
+	ts := NewTrustStore(ca.Cert)
+	good, _ := ca.Issue("/O=NEES/CN=good", time.Hour)
+	short, _ := ca.Issue("/O=NEES/CN=short", 10*time.Minute)
+	rogueCA, _ := NewAuthority("/O=Rogue/CN=CA", time.Hour)
+	rogue, _ := rogueCA.Issue("/O=Rogue/CN=mallory", time.Hour)
+
+	payload := []byte(`{"op":"propose"}`)
+	goodEnv, _ := Sign(good, payload)
+	shortEnv, _ := Sign(short, payload)
+	rogueEnv, _ := Sign(rogue, payload)
+	now := time.Now()
+	late := now.Add(30 * time.Minute) // short is expired, good is not
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, id, err := ts.Open(goodEnv, now); err != nil || id != "/O=NEES/CN=good" {
+					t.Errorf("good envelope: id=%q err=%v", id, err)
+					return
+				}
+				if _, _, err := ts.Open(shortEnv, late); !errors.Is(err, ErrExpired) {
+					t.Errorf("expired envelope: err=%v", err)
+					return
+				}
+				if _, _, err := ts.Open(rogueEnv, now); !errors.Is(err, ErrUntrusted) {
+					t.Errorf("rogue envelope: err=%v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := ts.CacheStats()
+	if hits == 0 {
+		t.Fatalf("no cache hits across concurrent Opens (misses=%d)", misses)
+	}
+}
+
+func TestTBSMemoizedAndMutationAware(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	leaf := cred.Leaf()
+	a := leaf.tbs()
+	b := leaf.tbs()
+	if !bytes.Equal(a, b) {
+		t.Fatal("memoized tbs not stable")
+	}
+	// The memoized form must match what the pre-memoization encoding
+	// produced: json.Marshal of the certificate with Signature nilled.
+	var m1, m2 map[string]any
+	if err := json.Unmarshal(a, &m1); err != nil {
+		t.Fatal(err)
+	}
+	if m1["signature"] != nil {
+		t.Fatalf("tbs encodes a signature: %v", m1["signature"])
+	}
+	leaf.Subject = "/O=NEES/CN=other"
+	c := leaf.tbs()
+	if bytes.Equal(a, c) {
+		t.Fatal("tbs did not change after subject mutation")
+	}
+	if err := json.Unmarshal(c, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2["subject"] != "/O=NEES/CN=other" {
+		t.Fatalf("recomputed tbs has stale subject %v", m2["subject"])
+	}
+}
+
+func TestAppendSignedEnvelopeRoundTrip(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	proxy, _ := cred.Delegate(30 * time.Minute)
+	payload := []byte(`{"service":"ntcp","op":"propose","n":1}`)
+
+	enc, err := AppendSignedEnvelope(nil, proxy, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(enc, &env); err != nil {
+		t.Fatalf("append-encoded envelope does not parse: %v\n%s", err, enc)
+	}
+	ts := NewTrustStore(ca.Cert)
+	got, id, err := ts.Open(&env, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || id != "/O=NEES/CN=alice" {
+		t.Fatalf("payload=%q id=%q", got, id)
+	}
+
+	// Byte-compatibility with the reflective path.
+	ref, err := Sign(proxy, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, refJSON) {
+		t.Fatalf("append encoding differs from json.Marshal:\n%s\n%s", enc, refJSON)
+	}
+}
+
+func TestEncodedChainMemoized(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	a, err := cred.EncodedChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cred.EncodedChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("EncodedChain re-marshalled on second call")
+	}
+	want, _ := json.Marshal(cred.Chain)
+	if !bytes.Equal(a, want) {
+		t.Fatal("EncodedChain differs from json.Marshal of the chain")
+	}
+}

@@ -12,12 +12,15 @@
 package gsi
 
 import (
+	"bytes"
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,16 +45,78 @@ type Certificate struct {
 	IsCA      bool              `json:"is_ca"`
 	IsProxy   bool              `json:"is_proxy"`
 	Signature []byte            `json:"signature"`
+
+	// tbsMemo caches the canonical encoding together with a snapshot of the
+	// fields it encodes, so repeated verification of a long-lived in-memory
+	// certificate skips the JSON marshal. A field mutation after caching is
+	// detected by snapshot comparison and recomputes — a tampered certificate
+	// can never verify against a stale encoding.
+	tbsMemo atomic.Pointer[tbsMemo]
 }
 
-// tbs returns the canonical "to be signed" encoding of the certificate.
+// certTBS mirrors Certificate's exported fields (same order, same tags) so
+// the canonical encoding is byte-identical to the historical
+// json.Marshal-with-nil-Signature form.
+type certTBS struct {
+	Subject   string            `json:"subject"`
+	Issuer    string            `json:"issuer"`
+	PublicKey ed25519.PublicKey `json:"public_key"`
+	NotBefore time.Time         `json:"not_before"`
+	NotAfter  time.Time         `json:"not_after"`
+	IsCA      bool              `json:"is_ca"`
+	IsProxy   bool              `json:"is_proxy"`
+	Signature []byte            `json:"signature"`
+}
+
+// tbsMemo is the memoized canonical encoding plus the field snapshot it was
+// computed from. PublicKey is copied so an in-place key mutation is caught.
+type tbsMemo struct {
+	subject, issuer string
+	publicKey       []byte
+	notBefore       time.Time
+	notAfter        time.Time
+	isCA, isProxy   bool
+	enc             []byte
+}
+
+func (m *tbsMemo) matches(c *Certificate) bool {
+	return m.subject == c.Subject &&
+		m.issuer == c.Issuer &&
+		bytes.Equal(m.publicKey, c.PublicKey) &&
+		m.notBefore.Equal(c.NotBefore) &&
+		m.notAfter.Equal(c.NotAfter) &&
+		m.isCA == c.IsCA &&
+		m.isProxy == c.IsProxy
+}
+
+// tbs returns the canonical "to be signed" encoding of the certificate,
+// memoized across calls on the same in-memory certificate.
 func (c *Certificate) tbs() []byte {
-	cc := *c
-	cc.Signature = nil
-	b, err := json.Marshal(&cc)
+	if m := c.tbsMemo.Load(); m != nil && m.matches(c) {
+		return m.enc
+	}
+	b, err := json.Marshal(&certTBS{
+		Subject:   c.Subject,
+		Issuer:    c.Issuer,
+		PublicKey: c.PublicKey,
+		NotBefore: c.NotBefore,
+		NotAfter:  c.NotAfter,
+		IsCA:      c.IsCA,
+		IsProxy:   c.IsProxy,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("gsi: certificate encoding: %v", err)) // cannot fail for this type
 	}
+	c.tbsMemo.Store(&tbsMemo{
+		subject:   c.Subject,
+		issuer:    c.Issuer,
+		publicKey: append([]byte(nil), c.PublicKey...),
+		notBefore: c.NotBefore,
+		notAfter:  c.NotAfter,
+		isCA:      c.IsCA,
+		isProxy:   c.IsProxy,
+		enc:       b,
+	})
 	return b
 }
 
@@ -61,10 +126,14 @@ func (c *Certificate) ValidAt(now time.Time) bool {
 }
 
 // Credential is a private key together with its certificate chain, leaf
-// first, ending at (but not including) the CA certificate.
+// first, ending at (but not including) the CA certificate. The chain is
+// treated as immutable once the credential is built (Issue/Delegate never
+// mutate it); EncodedChain relies on that.
 type Credential struct {
 	Chain []*Certificate
 	Key   ed25519.PrivateKey
+
+	chainEnc atomic.Pointer[[]byte]
 }
 
 // Leaf returns the end-entity certificate of the credential.
@@ -174,14 +243,20 @@ func (c *Credential) Delegate(validity time.Duration) (*Credential, error) {
 	return &Credential{Chain: chain, Key: priv}, nil
 }
 
-// TrustStore holds the CA certificates a site trusts.
+// TrustStore holds the CA certificates a site trusts, plus a bounded cache
+// of verified chains (see cache.go) that lets repeated calls with a
+// byte-identical chain skip the per-certificate signature checks.
 type TrustStore struct {
-	cas map[string]*Certificate
+	cas   map[string]*Certificate
+	cache chainCache
 }
 
-// NewTrustStore builds a store from CA certificates.
+// NewTrustStore builds a store from CA certificates. The verified-chain
+// cache is enabled with DefaultChainCacheCapacity entries; SetCacheCapacity
+// tunes or disables it.
 func NewTrustStore(cas ...*Certificate) *TrustStore {
 	ts := &TrustStore{cas: make(map[string]*Certificate, len(cas))}
+	ts.cache.capacity = DefaultChainCacheCapacity
 	for _, c := range cas {
 		ts.Add(c)
 	}
@@ -200,42 +275,72 @@ func (ts *TrustStore) Add(c *Certificate) {
 // proxy subjects extending their issuer's subject, and the topmost
 // certificate issued by a trusted CA. It returns the base identity of the
 // chain.
+//
+// A chain that already verified is remembered by content digest; a repeat
+// presentation of the byte-identical chain is served from the cache while
+// every certificate in it (and its CA) is still within its validity window.
+// Any difference in content — a tampered field, a different signature, an
+// unknown chain — changes the digest and takes the full slow path.
 func (ts *TrustStore) VerifyChain(chain []*Certificate, now time.Time) (string, error) {
 	if len(chain) == 0 {
 		return "", ErrBadChain
 	}
+	key, cacheable := ts.cache.digest(chain)
+	if cacheable {
+		if identity, ok := ts.cache.lookup(key, now); ok {
+			return identity, nil
+		}
+	}
+	identity, window, err := ts.verifyChainSlow(chain, now)
+	if err != nil {
+		return "", err
+	}
+	if cacheable {
+		ts.cache.store(key, identity, window)
+	}
+	return identity, nil
+}
+
+// verifyChainSlow is the full cryptographic path. On success it also
+// returns the validity window of the whole chain — the intersection of
+// every certificate's window including the trusted CA's — which bounds how
+// long a cached verdict may be served.
+func (ts *TrustStore) verifyChainSlow(chain []*Certificate, now time.Time) (string, validityWindow, error) {
+	var window validityWindow
 	for i, cert := range chain {
 		if !cert.ValidAt(now) {
-			return "", fmt.Errorf("%w: %s", ErrExpired, cert.Subject)
+			return "", window, fmt.Errorf("%w: %s", ErrExpired, cert.Subject)
 		}
+		window.intersect(cert.NotBefore, cert.NotAfter)
 		var issuerKey ed25519.PublicKey
 		if i+1 < len(chain) {
 			parent := chain[i+1]
 			if cert.Issuer != parent.Subject {
-				return "", fmt.Errorf("%w: issuer %q != parent subject %q", ErrBadChain, cert.Issuer, parent.Subject)
+				return "", window, fmt.Errorf("%w: issuer %q != parent subject %q", ErrBadChain, cert.Issuer, parent.Subject)
 			}
 			if cert.IsProxy && cert.Subject != parent.Subject+"/proxy" {
-				return "", fmt.Errorf("%w: proxy subject %q does not extend %q", ErrBadChain, cert.Subject, parent.Subject)
+				return "", window, fmt.Errorf("%w: proxy subject %q does not extend %q", ErrBadChain, cert.Subject, parent.Subject)
 			}
 			if !cert.IsProxy {
-				return "", fmt.Errorf("%w: non-proxy certificate %q below chain head", ErrBadChain, cert.Subject)
+				return "", window, fmt.Errorf("%w: non-proxy certificate %q below chain head", ErrBadChain, cert.Subject)
 			}
 			issuerKey = parent.PublicKey
 		} else {
 			ca, ok := ts.cas[cert.Issuer]
 			if !ok {
-				return "", fmt.Errorf("%w: issuer %q", ErrUntrusted, cert.Issuer)
+				return "", window, fmt.Errorf("%w: issuer %q", ErrUntrusted, cert.Issuer)
 			}
 			if !ca.ValidAt(now) {
-				return "", fmt.Errorf("%w: CA %s", ErrExpired, ca.Subject)
+				return "", window, fmt.Errorf("%w: CA %s", ErrExpired, ca.Subject)
 			}
+			window.intersect(ca.NotBefore, ca.NotAfter)
 			issuerKey = ca.PublicKey
 		}
 		if !ed25519.Verify(issuerKey, cert.tbs(), cert.Signature) {
-			return "", fmt.Errorf("%w: %s", ErrBadSignature, cert.Subject)
+			return "", window, fmt.Errorf("%w: %s", ErrBadSignature, cert.Subject)
 		}
 	}
-	return BaseIdentity(chain[0].Subject), nil
+	return BaseIdentity(chain[0].Subject), window, nil
 }
 
 // Envelope is a signed message: payload, signer chain, signature by the
@@ -254,6 +359,46 @@ func Sign(cred *Credential, payload []byte) (*Envelope, error) {
 	}
 	sig := ed25519.Sign(cred.Key, payload)
 	return &Envelope{Payload: payload, Chain: cred.Chain, Signature: sig}, nil
+}
+
+// EncodedChain returns the JSON encoding of the credential's certificate
+// chain, computed once and reused — the chain of a live credential never
+// changes, and re-marshalling it (public keys, signatures, timestamps) is
+// the bulk of envelope-encoding cost.
+func (c *Credential) EncodedChain() ([]byte, error) {
+	if p := c.chainEnc.Load(); p != nil {
+		return *p, nil
+	}
+	b, err := json.Marshal(c.Chain)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: encode chain: %w", err)
+	}
+	c.chainEnc.Store(&b)
+	return b, nil
+}
+
+// AppendSignedEnvelope signs payload with the credential and appends the
+// JSON encoding of the resulting envelope to dst, which it returns. The
+// output is byte-compatible with json.Marshal of the Envelope produced by
+// Sign, but runs in a single pass with the chain encoding memoized — the
+// hot-path form used by the OGSI transport.
+func AppendSignedEnvelope(dst []byte, cred *Credential, payload []byte) ([]byte, error) {
+	if cred == nil || cred.Leaf() == nil {
+		return nil, ErrBadChain
+	}
+	chainJSON, err := cred.EncodedChain()
+	if err != nil {
+		return nil, err
+	}
+	sig := ed25519.Sign(cred.Key, payload)
+	dst = append(dst, `{"payload":"`...)
+	dst = base64.StdEncoding.AppendEncode(dst, payload)
+	dst = append(dst, `","chain":`...)
+	dst = append(dst, chainJSON...)
+	dst = append(dst, `,"signature":"`...)
+	dst = base64.StdEncoding.AppendEncode(dst, sig)
+	dst = append(dst, `"}`...)
+	return dst, nil
 }
 
 // Open verifies the envelope against the trust store and returns the

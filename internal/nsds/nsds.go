@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,9 +36,11 @@ type Subscription struct {
 	hub *Hub
 	ch  chan Sample
 
-	mu      sync.Mutex
-	dropped uint64
-	filter  map[string]bool
+	dropped atomic.Uint64
+	// filter is the precomputed channel set, built once at subscribe time
+	// and never mutated afterwards, so the fan-out hot path reads it without
+	// a lock.
+	filter map[string]bool
 }
 
 // C returns the sample channel. It is closed when the subscription is
@@ -45,18 +48,13 @@ type Subscription struct {
 func (s *Subscription) C() <-chan Sample { return s.ch }
 
 // Dropped returns how many samples this subscriber lost to backpressure.
-func (s *Subscription) Dropped() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dropped
-}
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
 
 // Cancel detaches the subscription.
 func (s *Subscription) Cancel() { s.hub.cancel(s.id) }
 
+// wants is lock-free: the filter set is immutable after construction.
 func (s *Subscription) wants(channel string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.filter) == 0 {
 		return true
 	}
@@ -65,15 +63,22 @@ func (s *Subscription) wants(channel string) bool {
 
 // Hub fan-outs published samples to subscribers, dropping for slow ones.
 type Hub struct {
-	mu        sync.Mutex
-	subs      map[int]*Subscription
-	nextID    int
-	seq       uint64
-	published uint64
-	dropped   uint64
-	closed    bool
-	retain    int
-	retained  map[string][]Sample // channel → last `retain` samples
+	mu       sync.Mutex
+	subs     map[int]*Subscription
+	snapshot []*Subscription // cached subscriber list; nil when stale
+	nextID   int
+	seq      uint64
+	closed   bool
+	retain   int
+	retained map[string][]Sample // channel → last `retain` samples
+
+	// fanMu guards delivery against channel close: publishers hold the read
+	// side while sending to a snapshot, cancel/Close take the write side
+	// before closing a subscription channel. Never held together with mu.
+	fanMu sync.RWMutex
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
 }
 
 // NewHub returns an empty hub.
@@ -129,12 +134,13 @@ func (h *Hub) SubscribeWithCatchUp(buffer int, channels ...string) (*Subscriptio
 		select {
 		case sub.ch <- s:
 		default:
-			sub.dropped++
-			h.dropped++
+			sub.dropped.Add(1)
+			h.dropped.Add(1)
 		}
 	}
 	h.subs[h.nextID] = sub
 	h.nextID++
+	h.snapshot = nil
 	return sub, nil
 }
 
@@ -167,15 +173,51 @@ func (h *Hub) Subscribe(buffer int, channels ...string) (*Subscription, error) {
 	}
 	h.subs[h.nextID] = sub
 	h.nextID++
+	h.snapshot = nil
 	return sub, nil
 }
 
 func (h *Hub) cancel(id int) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	if sub, ok := h.subs[id]; ok {
+	sub, ok := h.subs[id]
+	if ok {
 		delete(h.subs, id)
-		close(sub.ch)
+		h.snapshot = nil
+	}
+	h.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Close outside mu but under the fan-out write lock, so no publisher is
+	// mid-send to this channel.
+	h.fanMu.Lock()
+	close(sub.ch)
+	h.fanMu.Unlock()
+}
+
+// subscribers returns the cached subscriber list, rebuilding it only after
+// a subscribe/cancel invalidated it. Callers must hold h.mu. The returned
+// slice is never mutated, so it is safe to use after unlocking.
+func (h *Hub) subscribers() []*Subscription {
+	if h.snapshot == nil {
+		h.snapshot = make([]*Subscription, 0, len(h.subs))
+		for _, sub := range h.subs {
+			h.snapshot = append(h.snapshot, sub)
+		}
+	}
+	return h.snapshot
+}
+
+// deliver offers one sample to one subscriber, dropping on backpressure.
+func (h *Hub) deliver(sub *Subscription, s Sample) {
+	if !sub.wants(s.Channel) {
+		return
+	}
+	select {
+	case sub.ch <- s:
+	default:
+		sub.dropped.Add(1)
+		h.dropped.Add(1)
 	}
 }
 
@@ -188,56 +230,90 @@ func (h *Hub) Publish(s Sample) {
 	}
 	h.seq++
 	s.Seq = h.seq
-	h.published++
+	h.published.Add(1)
 	if h.retain > 0 {
-		kept := append(h.retained[s.Channel], s)
-		if len(kept) > h.retain {
-			kept = kept[len(kept)-h.retain:]
-		}
-		h.retained[s.Channel] = kept
+		h.retainLocked(s)
 	}
-	subs := make([]*Subscription, 0, len(h.subs))
-	for _, sub := range h.subs {
-		subs = append(subs, sub)
-	}
+	subs := h.subscribers()
 	h.mu.Unlock()
 
+	h.fanMu.RLock()
 	for _, sub := range subs {
-		if !sub.wants(s.Channel) {
-			continue
-		}
-		select {
-		case sub.ch <- s:
-		default:
-			sub.mu.Lock()
-			sub.dropped++
-			sub.mu.Unlock()
-			h.mu.Lock()
-			h.dropped++
-			h.mu.Unlock()
+		h.deliver(sub, s)
+	}
+	h.fanMu.RUnlock()
+}
+
+// PublishBatch assigns consecutive sequence numbers to a burst of samples
+// and fans them out with one lock acquisition for the whole batch — the
+// shape a DAQ scan produces (every channel sampled at one instant). The
+// batch is delivered subscriber-major so each consumer sees the batch in
+// order; samples mutate in place (their Seq fields are filled in).
+func (h *Hub) PublishBatch(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	for i := range samples {
+		h.seq++
+		samples[i].Seq = h.seq
+		if h.retain > 0 {
+			h.retainLocked(samples[i])
 		}
 	}
+	h.published.Add(uint64(len(samples)))
+	subs := h.subscribers()
+	h.mu.Unlock()
+
+	h.fanMu.RLock()
+	for _, sub := range subs {
+		for i := range samples {
+			h.deliver(sub, samples[i])
+		}
+	}
+	h.fanMu.RUnlock()
+}
+
+// retainLocked appends a sample to its channel's retention ring. Callers
+// must hold h.mu and have checked h.retain > 0.
+func (h *Hub) retainLocked(s Sample) {
+	kept := append(h.retained[s.Channel], s)
+	if len(kept) > h.retain {
+		kept = kept[len(kept)-h.retain:]
+	}
+	h.retained[s.Channel] = kept
 }
 
 // Stats returns (published, dropped) totals.
 func (h *Hub) Stats() (published, dropped uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.published, h.dropped
+	return h.published.Load(), h.dropped.Load()
 }
 
 // Close shuts the hub down, closing every subscription channel.
 func (h *Hub) Close() {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return
 	}
 	h.closed = true
+	h.snapshot = nil
+	closing := make([]*Subscription, 0, len(h.subs))
 	for id, sub := range h.subs {
 		delete(h.subs, id)
+		closing = append(closing, sub)
+	}
+	h.mu.Unlock()
+
+	h.fanMu.Lock()
+	for _, sub := range closing {
 		close(sub.ch)
 	}
+	h.fanMu.Unlock()
 }
 
 // ---------------------------------------------------------------------------
@@ -315,12 +391,35 @@ func (s *Server) serve(conn net.Conn) {
 		return
 	}
 	defer sub.Cancel()
-	enc := json.NewEncoder(conn)
+	// Buffer writes and flush only when the subscription runs dry: a burst
+	// of samples coalesces into one syscall instead of one write per sample,
+	// while an idle stream still delivers every sample promptly.
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	enc := json.NewEncoder(bw)
 	for sample := range sub.C() {
 		if err := enc.Encode(sample); err != nil {
 			return
 		}
+	drain:
+		for {
+			select {
+			case s, ok := <-sub.C():
+				if !ok {
+					_ = bw.Flush()
+					return
+				}
+				if err := enc.Encode(s); err != nil {
+					return
+				}
+			default:
+				break drain
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
 	}
+	_ = bw.Flush()
 }
 
 // Client consumes a remote NSDS stream.

@@ -1,6 +1,7 @@
 package nsds
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -275,4 +276,172 @@ func TestRetentionDisabledByDefault(t *testing.T) {
 		t.Fatalf("history delivered with retention off: %+v", s)
 	default:
 	}
+}
+
+func TestPublishBatchSequencesAndDelivers(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	all, err := hub.Subscribe(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := hub.Subscribe(64, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hub.Publish(Sample{Channel: "a", T: 0, Value: 1})
+	batch := []Sample{
+		{Channel: "a", T: 1, Value: 2},
+		{Channel: "b", T: 1, Value: 3},
+		{Channel: "a", T: 2, Value: 4},
+	}
+	hub.PublishBatch(batch)
+
+	// Sequence numbers continue from Publish and are filled into the caller's
+	// slice.
+	for i, s := range batch {
+		if s.Seq != uint64(2+i) {
+			t.Fatalf("batch[%d].Seq = %d, want %d", i, s.Seq, 2+i)
+		}
+	}
+	// Unfiltered subscriber sees all four in order.
+	for want := uint64(1); want <= 4; want++ {
+		got := <-all.C()
+		if got.Seq != want {
+			t.Fatalf("seq %d, want %d", got.Seq, want)
+		}
+	}
+	// Filtered subscriber sees only channel a, still in order.
+	seqs := []uint64{}
+	for i := 0; i < 3; i++ {
+		s := <-filtered.C()
+		if s.Channel != "a" {
+			t.Fatalf("filtered subscriber got channel %q", s.Channel)
+		}
+		seqs = append(seqs, s.Seq)
+	}
+	if seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 4 {
+		t.Fatalf("filtered seqs %v", seqs)
+	}
+	published, dropped := hub.Stats()
+	if published != 4 || dropped != 0 {
+		t.Fatalf("stats %d/%d, want 4/0", published, dropped)
+	}
+}
+
+func TestPublishBatchDropsForSlowConsumer(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	slow, err := hub.Subscribe(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]Sample, 10)
+	for i := range batch {
+		batch[i] = Sample{Channel: "c", T: float64(i)}
+	}
+	hub.PublishBatch(batch)
+	if got := slow.Dropped(); got != 8 {
+		t.Fatalf("slow subscriber dropped %d, want 8", got)
+	}
+	published, dropped := hub.Stats()
+	if published != 10 || dropped != 8 {
+		t.Fatalf("stats %d/%d, want 10/8", published, dropped)
+	}
+	// The two buffered samples are the first two, in order.
+	if s := <-slow.C(); s.Seq != 1 {
+		t.Fatalf("first kept seq %d", s.Seq)
+	}
+	if s := <-slow.C(); s.Seq != 2 {
+		t.Fatalf("second kept seq %d", s.Seq)
+	}
+}
+
+func TestPublishBatchRetention(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	hub.SetRetention(2)
+	hub.PublishBatch([]Sample{
+		{Channel: "a", Value: 1},
+		{Channel: "a", Value: 2},
+		{Channel: "a", Value: 3},
+	})
+	sub, err := hub.SubscribeWithCatchUp(8, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := <-sub.C(); s.Value != 2 {
+		t.Fatalf("first retained value %v, want 2", s.Value)
+	}
+	if s := <-sub.C(); s.Value != 3 {
+		t.Fatalf("second retained value %v, want 3", s.Value)
+	}
+}
+
+func TestPublishBatchEmptyAndClosed(t *testing.T) {
+	hub := NewHub()
+	hub.PublishBatch(nil)
+	hub.Close()
+	hub.PublishBatch([]Sample{{Channel: "a"}})
+	published, _ := hub.Stats()
+	if published != 0 {
+		t.Fatalf("published %d on empty/closed hub", published)
+	}
+}
+
+// TestConcurrentPublishSubscribeCancel hammers the hub with publishers,
+// batch publishers, and subscribers that cancel mid-stream — meaningful
+// under -race, and exercises the close-vs-send guard.
+func TestConcurrentPublishSubscribeCancel(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]Sample, 8)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if p%2 == 0 {
+					hub.Publish(Sample{Channel: "a", T: float64(i)})
+				} else {
+					for j := range batch {
+						batch[j] = Sample{Channel: "b", T: float64(i + j)}
+					}
+					hub.PublishBatch(batch)
+				}
+			}
+		}(p)
+	}
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub, err := hub.Subscribe(4, []string{"a", "b"}[i%2])
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				// Drain a little, then cancel while publishers are active.
+				for j := 0; j < 3; j++ {
+					select {
+					case <-sub.C():
+					default:
+					}
+				}
+				sub.Cancel()
+			}
+		}(s)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }

@@ -37,7 +37,10 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	// The tuned shared transport, not http.DefaultClient: callers that never
+	// set HTTP get keep-alive reuse against their container and bounded
+	// dials/overall deadline instead of a timeout-less default.
+	return DefaultHTTPClient
 }
 
 func (c *Client) now() time.Time {
@@ -71,20 +74,20 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 	if err != nil {
 		return fmt.Errorf("ogsi: marshal params: %w", err)
 	}
-	req := request{Service: service, Op: op, Params: rawParams, Sent: c.now()}
-	rawReq, err := json.Marshal(&req)
-	if err != nil {
-		return fmt.Errorf("ogsi: marshal request: %w", err)
-	}
-	env, err := gsi.Sign(c.Cred, rawReq)
+	// Single-pass encoding into pooled buffers: the request wire form is
+	// appended directly (no intermediate request struct marshal), signed,
+	// and wrapped in an envelope whose chain encoding is memoized on the
+	// credential.
+	payloadBuf := getBuf()
+	defer putBuf(payloadBuf)
+	*payloadBuf = appendRequestJSON((*payloadBuf)[:0], service, op, rawParams, c.now())
+	bodyBuf := getBuf()
+	defer putBuf(bodyBuf)
+	*bodyBuf, err = gsi.AppendSignedEnvelope((*bodyBuf)[:0], c.Cred, *payloadBuf)
 	if err != nil {
 		return fmt.Errorf("ogsi: sign request: %w", err)
 	}
-	body, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("ogsi: marshal envelope: %w", err)
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/ogsi", bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/ogsi", bytes.NewReader(*bodyBuf))
 	if err != nil {
 		return fmt.Errorf("ogsi: build request: %w", err)
 	}
@@ -94,7 +97,10 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 		return fmt.Errorf("ogsi: transport: %w", err)
 	}
 	defer httpResp.Body.Close()
-	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	respBuf := getBuf()
+	defer putBuf(respBuf)
+	respBody, err := readAllInto((*respBuf)[:0], io.LimitReader(httpResp.Body, 16<<20))
+	*respBuf = respBody
 	if err != nil {
 		return fmt.Errorf("ogsi: read response: %w", err)
 	}

@@ -1,0 +1,148 @@
+package ogsi
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultTransport is the shared HTTP transport for OGSI clients that do
+// not bring their own. It is tuned for the coordinator's per-site fan-out:
+// a handful of long-lived container endpoints each receiving a steady
+// stream of small signed POSTs, so keep-alive reuse matters far more than
+// connection diversity, and every dial must be bounded so a dead site fails
+// fast instead of hanging a step.
+var DefaultTransport = &http.Transport{
+	Proxy: http.ProxyFromEnvironment,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	ForceAttemptHTTP2:     true,
+	MaxIdleConns:          256,
+	MaxIdleConnsPerHost:   32,
+	IdleConnTimeout:       90 * time.Second,
+	TLSHandshakeTimeout:   10 * time.Second,
+	ExpectContinueTimeout: time.Second,
+}
+
+// DefaultHTTPClient is the client used when Client.HTTP is nil. The overall
+// timeout leaves headroom over the container's 30 s long-poll cap so
+// WaitServiceData re-arms cleanly rather than erroring mid-poll.
+var DefaultHTTPClient = &http.Client{
+	Transport: DefaultTransport,
+	Timeout:   60 * time.Second,
+}
+
+// maxPooledBuf bounds what goes back into the pool so one oversized
+// request/response does not pin memory forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(b *[]byte) {
+	if cap(*b) > maxPooledBuf {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}
+
+// readAllInto reads r to EOF, appending into dst (reusing its capacity —
+// the pooled-buffer replacement for io.ReadAll), and returns the filled
+// slice.
+func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Control characters
+// are \u-escaped; everything else (including non-ASCII UTF-8) passes
+// through, which is valid JSON.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		dst = append(dst, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			dst = append(dst, '\\', c)
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\r':
+			dst = append(dst, '\\', 'r')
+		case '\t':
+			dst = append(dst, '\\', 't')
+		default:
+			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendRequestJSON encodes the request wire form in one pass; params must
+// already be JSON (empty means null).
+func appendRequestJSON(dst []byte, service, op string, params []byte, sent time.Time) []byte {
+	dst = append(dst, `{"service":`...)
+	dst = appendJSONString(dst, service)
+	dst = append(dst, `,"op":`...)
+	dst = appendJSONString(dst, op)
+	dst = append(dst, `,"params":`...)
+	if len(params) == 0 {
+		dst = append(dst, "null"...)
+	} else {
+		dst = append(dst, params...)
+	}
+	dst = append(dst, `,"sent":"`...)
+	dst = sent.AppendFormat(dst, time.RFC3339Nano)
+	return append(dst, `"}`...)
+}
+
+// appendResponseJSON encodes the response wire form in one pass, matching
+// the struct's omitempty semantics; Result must already be JSON.
+func appendResponseJSON(dst []byte, resp *response) []byte {
+	dst = append(dst, `{"ok":`...)
+	dst = strconv.AppendBool(dst, resp.OK)
+	if resp.Code != "" {
+		dst = append(dst, `,"code":`...)
+		dst = appendJSONString(dst, resp.Code)
+	}
+	if resp.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, resp.Error)
+	}
+	if len(resp.Result) > 0 {
+		dst = append(dst, `,"result":`...)
+		dst = append(dst, resp.Result...)
+	}
+	return append(dst, '}')
+}

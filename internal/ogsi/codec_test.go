@@ -1,0 +1,126 @@
+package ogsi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
+	cases := []string{
+		"",
+		"ntcp",
+		"propose",
+		`with "quotes" and \backslashes\`,
+		"control\x00\x1fchars\nand\ttabs\r",
+		"unicode — π/2 ≤ θ",
+	}
+	for _, s := range cases {
+		got := appendJSONString(nil, s)
+		var back string
+		if err := json.Unmarshal(got, &back); err != nil {
+			t.Fatalf("%q: output does not parse: %v (%s)", s, err, got)
+		}
+		if back != s {
+			t.Fatalf("%q round-tripped to %q", s, back)
+		}
+	}
+}
+
+func TestAppendRequestJSONDecodesToRequest(t *testing.T) {
+	params, _ := json.Marshal(map[string]int{"step": 7})
+	sent := time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC)
+	enc := appendRequestJSON(nil, "ntcp", "propose", params, sent)
+	var req request
+	if err := json.Unmarshal(enc, &req); err != nil {
+		t.Fatalf("bad encoding: %v\n%s", err, enc)
+	}
+	if req.Service != "ntcp" || req.Op != "propose" {
+		t.Fatalf("decoded %+v", req)
+	}
+	if !req.Sent.Equal(sent) {
+		t.Fatalf("sent %v != %v", req.Sent, sent)
+	}
+	var p map[string]int
+	if err := json.Unmarshal(req.Params, &p); err != nil || p["step"] != 7 {
+		t.Fatalf("params %s: %v", req.Params, err)
+	}
+
+	// Nil params must encode as null, like json.Marshal of a nil RawMessage.
+	enc = appendRequestJSON(nil, "svc", "op", nil, sent)
+	if !bytes.Contains(enc, []byte(`"params":null`)) {
+		t.Fatalf("nil params: %s", enc)
+	}
+	if err := json.Unmarshal(enc, &req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendResponseJSONMatchesMarshal(t *testing.T) {
+	cases := []*response{
+		{OK: true},
+		{OK: true, Result: json.RawMessage(`{"f":[1.5]}`)},
+		{OK: false, Code: CodeDenied, Error: `authentication "failed"`},
+		{OK: false, Code: CodeNotFound, Error: "no service", Result: nil},
+	}
+	for _, resp := range cases {
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendResponseJSON(nil, resp)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("append %s != marshal %s", got, want)
+		}
+	}
+}
+
+func TestReadAllInto(t *testing.T) {
+	payload := strings.Repeat("x", 100_000)
+	got, err := readAllInto(make([]byte, 0, 8), strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != payload {
+		t.Fatalf("read %d bytes, want %d", len(got), len(payload))
+	}
+	// Capacity reuse: a large-enough buffer must not grow.
+	buf := make([]byte, 0, 256)
+	got, err = readAllInto(buf, strings.NewReader("short"))
+	if err != nil || string(got) != "short" {
+		t.Fatalf("%q %v", got, err)
+	}
+	if cap(got) != 256 {
+		t.Fatalf("buffer reallocated: cap %d", cap(got))
+	}
+	// Limited reader mid-stream error propagates.
+	if _, err := readAllInto(nil, io.LimitReader(iotest{}, 10)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+type iotest struct{}
+
+func (iotest) Read(p []byte) (int, error) { return 0, io.ErrUnexpectedEOF }
+
+func TestDefaultHTTPClientIsTuned(t *testing.T) {
+	c := &Client{}
+	hc := c.httpClient()
+	if hc.Timeout == 0 {
+		t.Fatal("default client has no overall timeout")
+	}
+	if hc.Transport != DefaultTransport {
+		t.Fatal("default client does not use the shared tuned transport")
+	}
+	if DefaultTransport.MaxIdleConnsPerHost < 2 {
+		t.Fatal("per-host idle pool not raised above the net/http default")
+	}
+	// An explicitly configured client still wins.
+	own := &Client{HTTP: DefaultHTTPClient}
+	if own.httpClient() != DefaultHTTPClient {
+		t.Fatal("explicit HTTP client not honoured")
+	}
+}

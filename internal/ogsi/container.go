@@ -183,6 +183,21 @@ func (c *Container) Telemetry() *telemetry.Registry {
 	return c.tel
 }
 
+// metricsSnapshot captures the registry after mirroring the trust store's
+// verified-chain cache totals into it, so /metrics and the computed
+// "metrics" SDE expose the security hot-path hit rate alongside the
+// per-op counters. Gauges (not counters) because the trust store may be
+// shared between containers and the totals are store-wide.
+func (c *Container) metricsSnapshot() telemetry.Snapshot {
+	tel := c.Telemetry()
+	if c.trust != nil {
+		hits, misses := c.trust.CacheStats()
+		tel.Gauge("gsi.chaincache.hits").Set(float64(hits))
+		tel.Gauge("gsi.chaincache.misses").Set(float64(misses))
+	}
+	return tel.Snapshot()
+}
+
 // AddService registers a service; duplicate names panic. The service gains a
 // computed "metrics" SDE exposing the container's telemetry snapshot, so
 // remote clients can inspect metrics through plain FindServiceData.
@@ -193,7 +208,7 @@ func (c *Container) AddService(s *Service) {
 		panic(fmt.Sprintf("ogsi: duplicate service %s", s.Name()))
 	}
 	c.services[s.Name()] = s
-	s.SDEs.SetComputed("metrics", func() any { return c.Telemetry().Snapshot() })
+	s.SDEs.SetComputed("metrics", func() any { return c.metricsSnapshot() })
 }
 
 // Service returns a hosted service by name.
@@ -306,11 +321,16 @@ func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ogsi: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	bodyBuf := getBuf()
+	defer putBuf(bodyBuf)
+	body, err := readAllInto((*bodyBuf)[:0], io.LimitReader(r.Body, 16<<20))
+	*bodyBuf = body
 	if err != nil {
 		http.Error(w, "ogsi: read body", http.StatusBadRequest)
 		return
 	}
+	// Unmarshal copies every []byte field (base64 decode) and RawMessage, so
+	// nothing below aliases the pooled body buffer.
 	var env gsi.Envelope
 	if err := json.Unmarshal(body, &env); err != nil {
 		http.Error(w, "ogsi: bad envelope", http.StatusBadRequest)
@@ -337,23 +357,22 @@ func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	c.reply(w, resp)
 }
 
-// reply signs and writes a response envelope.
+// reply signs and writes a response envelope, encoding response and
+// envelope in one pass through pooled buffers.
 func (c *Container) reply(w http.ResponseWriter, resp *response) {
-	raw, err := json.Marshal(resp)
-	if err != nil {
-		http.Error(w, "ogsi: marshal response", http.StatusInternalServerError)
-		return
-	}
-	env, err := gsi.Sign(c.cred, raw)
+	rawBuf := getBuf()
+	defer putBuf(rawBuf)
+	*rawBuf = appendResponseJSON((*rawBuf)[:0], resp)
+	envBuf := getBuf()
+	defer putBuf(envBuf)
+	env, err := gsi.AppendSignedEnvelope((*envBuf)[:0], c.cred, *rawBuf)
 	if err != nil {
 		http.Error(w, "ogsi: sign response", http.StatusInternalServerError)
 		return
 	}
+	*envBuf = env
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(env); err != nil {
-		// Connection-level failure; nothing further to do.
-		return
-	}
+	_, _ = w.Write(env) // connection-level failure; nothing further to do
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves until Stop. It
@@ -405,7 +424,7 @@ func (c *Container) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(c.Telemetry().Snapshot())
+	_ = enc.Encode(c.metricsSnapshot())
 }
 
 // Stop shuts the container down.
