@@ -157,6 +157,16 @@ func (cc *chainCache) store(key [sha256.Size]byte, identity string, window valid
 	cc.entries[key] = chainCacheEntry{identity: identity, window: window}
 }
 
+// flush drops every cached verdict. Called when the trust set changes
+// (TrustStore.Add): cached identities were verified against the previous CA
+// set and must not outlive it — in particular a chain signed by a rotated
+// CA key must re-verify (and fail) rather than be served from cache.
+func (cc *chainCache) flush() {
+	cc.mu.Lock()
+	cc.entries = nil
+	cc.mu.Unlock()
+}
+
 func (cc *chainCache) note(hit bool) {
 	if fn := cc.observer.Load(); fn != nil {
 		(*fn)(hit)

@@ -127,6 +127,42 @@ func TestChainCacheNeverCachesFailures(t *testing.T) {
 	}
 }
 
+func TestChainCacheFlushedOnCARotation(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	ts := NewTrustStore(ca.Cert)
+	now := time.Now()
+
+	// Warm the cache and prove a hit is being served.
+	if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ts.VerifyChain(cred.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := ts.CacheStats(); hits != 1 {
+		t.Fatalf("hits=%d, want 1", hits)
+	}
+
+	// Rotate the CA: same subject, new key. The chain signed by the old key
+	// must now fail verification — a cached verdict from before the rotation
+	// must not be served.
+	rotated, err := NewAuthority(ca.Name, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Add(rotated.Cert)
+	if _, err := ts.VerifyChain(cred.Chain, now); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("chain signed by rotated-away CA key: err = %v, want ErrBadSignature", err)
+	}
+
+	// A credential from the rotated CA verifies (and re-populates the cache).
+	fresh, _ := rotated.Issue("/O=NEES/CN=alice", time.Hour)
+	if _, err := ts.VerifyChain(fresh.Chain, now); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestChainCacheDisabled(t *testing.T) {
 	ca := newTestCA(t)
 	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
@@ -302,6 +338,38 @@ func TestAppendSignedEnvelopeRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(enc, refJSON) {
 		t.Fatalf("append encoding differs from json.Marshal:\n%s\n%s", enc, refJSON)
+	}
+}
+
+func TestAppendSignedEnvelopePayloadEdgeCases(t *testing.T) {
+	ca := newTestCA(t)
+	cred, _ := ca.Issue("/O=NEES/CN=alice", time.Hour)
+	// json.Marshal encodes a nil []byte payload as null and an empty non-nil
+	// one as ""; the append path must match both byte-for-byte.
+	for _, payload := range [][]byte{nil, {}} {
+		enc, err := AppendSignedEnvelope(nil, cred, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := Sign(cred, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refJSON, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, refJSON) {
+			t.Fatalf("payload %#v: append encoding differs from json.Marshal:\n%s\n%s", payload, enc, refJSON)
+		}
+		var env Envelope
+		if err := json.Unmarshal(enc, &env); err != nil {
+			t.Fatal(err)
+		}
+		ts := NewTrustStore(ca.Cert)
+		if _, _, err := ts.Open(&env, time.Now()); err != nil {
+			t.Fatalf("payload %#v: %v", payload, err)
+		}
 	}
 }
 

@@ -263,11 +263,16 @@ func NewTrustStore(cas ...*Certificate) *TrustStore {
 	return ts
 }
 
-// Add registers a trusted CA certificate.
+// Add registers a trusted CA certificate. Any change to the trust set —
+// including a key rotation that replaces an existing subject — flushes the
+// verified-chain cache, so no verdict computed against the old CA set
+// outlives it.
 func (ts *TrustStore) Add(c *Certificate) {
-	if c != nil && c.IsCA {
-		ts.cas[c.Subject] = c
+	if c == nil || !c.IsCA {
+		return
 	}
+	ts.cas[c.Subject] = c
+	ts.cache.flush()
 }
 
 // VerifyChain validates a leaf-first chain at time now: every certificate
@@ -391,9 +396,15 @@ func AppendSignedEnvelope(dst []byte, cred *Credential, payload []byte) ([]byte,
 		return nil, err
 	}
 	sig := ed25519.Sign(cred.Key, payload)
-	dst = append(dst, `{"payload":"`...)
-	dst = base64.StdEncoding.AppendEncode(dst, payload)
-	dst = append(dst, `","chain":`...)
+	if payload == nil {
+		// json.Marshal encodes a nil []byte as null (and an empty non-nil
+		// slice as ""); match both exactly.
+		dst = append(dst, `{"payload":null,"chain":`...)
+	} else {
+		dst = append(dst, `{"payload":"`...)
+		dst = base64.StdEncoding.AppendEncode(dst, payload)
+		dst = append(dst, `","chain":`...)
+	}
 	dst = append(dst, chainJSON...)
 	dst = append(dst, `,"signature":"`...)
 	dst = base64.StdEncoding.AppendEncode(dst, sig)

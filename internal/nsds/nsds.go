@@ -72,9 +72,12 @@ type Hub struct {
 	retain   int
 	retained map[string][]Sample // channel → last `retain` samples
 
-	// fanMu guards delivery against channel close: publishers hold the read
-	// side while sending to a snapshot, cancel/Close take the write side
-	// before closing a subscription channel. Never held together with mu.
+	// fanMu guards delivery against channel close: publishers acquire the
+	// read side while still holding mu — so once a subscriber has been
+	// snapshotted, no cancel/Close can close its channel until the fan-out
+	// finishes — while cancel/Close take the write side before closing a
+	// subscription channel. Lock order is mu → fanMu; cancel/Close never
+	// acquire mu while holding fanMu, so the ordering cannot deadlock.
 	fanMu sync.RWMutex
 
 	published atomic.Uint64
@@ -235,9 +238,12 @@ func (h *Hub) Publish(s Sample) {
 		h.retainLocked(s)
 	}
 	subs := h.subscribers()
+	// Take the fan-out read lock before releasing mu: a cancel/Close that
+	// sneaks into the gap would otherwise complete its channel close and a
+	// send to the snapshotted subscriber would panic.
+	h.fanMu.RLock()
 	h.mu.Unlock()
 
-	h.fanMu.RLock()
 	for _, sub := range subs {
 		h.deliver(sub, s)
 	}
@@ -267,9 +273,11 @@ func (h *Hub) PublishBatch(samples []Sample) {
 	}
 	h.published.Add(uint64(len(samples)))
 	subs := h.subscribers()
+	// As in Publish: hold fanMu before dropping mu so no snapshotted
+	// subscriber's channel can be closed mid-batch.
+	h.fanMu.RLock()
 	h.mu.Unlock()
 
-	h.fanMu.RLock()
 	for _, sub := range subs {
 		for i := range samples {
 			h.deliver(sub, samples[i])

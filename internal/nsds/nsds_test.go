@@ -390,6 +390,56 @@ func TestPublishBatchEmptyAndClosed(t *testing.T) {
 	}
 }
 
+// TestCancelRacingFanOutDoesNotPanic hammers the snapshot→deliver window:
+// subscribers cancel immediately after subscribing while publishers fan out
+// continuously. Before publishers held fanMu across the mu release, a
+// cancel completing in that gap closed a snapshotted channel and the
+// subsequent send panicked ("send on closed channel").
+func TestCancelRacingFanOutDoesNotPanic(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			batch := make([]Sample, 4)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if p == 0 {
+					hub.Publish(Sample{Channel: "a", T: float64(i)})
+				} else {
+					hub.PublishBatch(batch)
+				}
+			}
+		}(p)
+	}
+	// Tight subscribe/cancel churn with tiny buffers keeps subscribers inside
+	// publisher snapshots at the moment their channels close.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				sub, err := hub.Subscribe(1)
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				sub.Cancel()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}
+
 // TestConcurrentPublishSubscribeCancel hammers the hub with publishers,
 // batch publishers, and subscribers that cancel mid-stream — meaningful
 // under -race, and exercises the close-vs-send guard.

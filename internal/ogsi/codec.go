@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 	"time"
+	"unicode/utf8"
 )
 
 // DefaultTransport is the shared HTTP transport for OGSI clients that do
@@ -79,31 +80,57 @@ func readAllInto(dst []byte, r io.Reader) ([]byte, error) {
 
 const hexDigits = "0123456789abcdef"
 
-// appendJSONString appends s as a JSON string literal. Control characters
-// are \u-escaped; everything else (including non-ASCII UTF-8) passes
-// through, which is valid JSON.
+// appendJSONString appends s as a JSON string literal, byte-identical to
+// encoding/json's default encoder: short escapes for quote, backslash and
+// \b \f \n \r \t, \u00xx for the remaining control bytes, HTML escaping
+// of < > & as \u003c \u003e \u0026, \u2028/\u2029 for the JS line
+// separators, and the literal \ufffd escape for invalid UTF-8 bytes.
 func appendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	start := 0
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c != '"' && c != '\\' && c >= 0x20 {
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			start = i
 			continue
 		}
-		dst = append(dst, s[start:i]...)
-		switch c {
-		case '"', '\\':
-			dst = append(dst, '\\', c)
-		case '\n':
-			dst = append(dst, '\\', 'n')
-		case '\r':
-			dst = append(dst, '\\', 'r')
-		case '\t':
-			dst = append(dst, '\\', 't')
-		default:
-			dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i++
+			start = i
+			continue
 		}
-		start = i + 1
+		if r == 0x2028 || r == 0x2029 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
 	}
 	dst = append(dst, s[start:]...)
 	return append(dst, '"')

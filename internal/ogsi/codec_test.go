@@ -16,15 +16,27 @@ func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
 		"propose",
 		`with "quotes" and \backslashes\`,
 		"control\x00\x1fchars\nand\ttabs\r",
+		"backspace\band\fformfeed",
 		"unicode — π/2 ≤ θ",
+		"html <escapes> & entities",
+		"js line separators \u2028 and \u2029",
+		"invalid utf-8 \xff\xfe mid\xc3string",
+		"\x7fdel passes through",
 	}
 	for _, s := range cases {
 		got := appendJSONString(nil, s)
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%q: append %s != marshal %s", s, got, want)
+		}
 		var back string
 		if err := json.Unmarshal(got, &back); err != nil {
 			t.Fatalf("%q: output does not parse: %v (%s)", s, err, got)
 		}
-		if back != s {
+		if !strings.Contains(s, "\xff") && !strings.Contains(s, "\xfe") && !strings.Contains(s, "\xc3s") && back != s {
 			t.Fatalf("%q round-tripped to %q", s, back)
 		}
 	}
