@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -40,6 +41,7 @@ import (
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 type groundConfig struct {
@@ -77,6 +79,7 @@ func main() {
 	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
 	credPath := flag.String("cred", "", "coordinator credential")
 	out := flag.String("out", "out", "output directory")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
 	flag.Parse()
 	if *configPath == "" || *credPath == "" {
 		fatal("need -config and -cred")
@@ -114,13 +117,27 @@ func main() {
 	}
 
 	// One registry across the coordinator and every site client: step
-	// latency and NTCP round trips land in the same run report.
+	// latency and NTCP round trips land in the same run report. Same for
+	// the tracer: step root spans and per-site client spans share one
+	// recorder, served at -pprof's /trace.
 	reg := telemetry.NewRegistry()
+	rec := trace.NewRecorder(0)
+	tracer := trace.NewTracer("coordinator", rec)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
+				fmt.Fprintf(os.Stderr, "coordinator: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("coordinator: pprof at http://%s/debug/pprof/, spans at http://%s/trace\n",
+			*pprofAddr, *pprofAddr)
+	}
 	totalK := 0.0
 	sites := make([]coord.Site, len(cfg.Sites))
 	for i, s := range cfg.Sites {
 		totalK += s.K
 		og := ogsi.NewClient("http://"+s.Addr, cred, trust)
+		og.Tracer = tracer
 		sites[i] = coord.Site{
 			Name:         s.Name,
 			Client:       core.NewClientWithTelemetry(og, retry, reg),
@@ -148,6 +165,7 @@ func main() {
 		Ground:    ground.At,
 		RunID:     cfg.Name,
 		Telemetry: reg,
+		Tracer:    tracer,
 	}, sites...)
 	if err != nil {
 		fatal("coordinator: %v", err)

@@ -38,6 +38,10 @@ func main() {
 		metricsCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceCmd(os.Args[2:])
+		return
+	}
 	experiment := flag.String("experiment", "dry-run",
 		"dry-run|public-run|minimost|minimost-hw|soil-structure")
 	variant := flag.String("variant", "simulation", "simulation|hybrid (MOST experiments)")

@@ -12,12 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"neesgrid/internal/nsds"
+	"neesgrid/internal/trace"
 )
 
 func main() {
@@ -25,16 +27,27 @@ func main() {
 	demo := flag.Bool("demo", false, "publish a synthetic demo signal")
 	demoRate := flag.Duration("demo-rate", 10*time.Millisecond, "demo sample interval")
 	retention := flag.Int("retention", 1000, "samples retained per channel for late joiners (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
 	flag.Parse()
 
 	hub := nsds.NewHub()
 	hub.SetRetention(*retention)
+	rec := trace.NewRecorder(0)
+	hub.UseTracer(trace.NewTracer("nsdsd", rec))
 	srv := nsds.NewServer(hub)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fatal("start: %v", err)
 	}
 	fmt.Printf("nsdsd: streaming on %s\n", bound)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
+				fmt.Fprintf(os.Stderr, "nsdsd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("nsdsd: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	stop := make(chan struct{})
 	if *demo {

@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"neesgrid/internal/plugin"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 	fy := flag.Float64("fy", 0, "yield force N (0 = linear)")
 	hardening := flag.Float64("hardening", 0.05, "post-yield stiffness ratio")
 	maxDisp := flag.Float64("max-disp", 0, "site policy displacement limit m (0 = none)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
 	flag.Parse()
 
 	if *credPath == "" {
@@ -84,9 +87,18 @@ func main() {
 		}}
 	}
 	reg := telemetry.NewRegistry()
-	server := core.NewServer(plug, policy, core.ServerOptions{Telemetry: reg})
+	// The trace service name is the credential's CN — the site name in the
+	// merged timeline.
+	svc := cred.Identity()
+	if i := strings.LastIndex(svc, "CN="); i >= 0 {
+		svc = svc[i+len("CN="):]
+	}
+	rec := trace.NewRecorder(0)
+	tracer := trace.NewTracer(svc, rec)
+	server := core.NewServer(plug, policy, core.ServerOptions{Telemetry: reg, Tracer: tracer})
 	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
 	cont.UseTelemetry(reg)
+	cont.UseTracer(tracer)
 	cont.AddService(server.Service())
 	bound, err := cont.Start(*addr)
 	if err != nil {
@@ -94,8 +106,16 @@ func main() {
 	}
 	fmt.Printf("ntcpd: site %s serving %q (%s, k=%g) on %s\n",
 		cred.Identity(), *point, *kind, *k, bound)
-	fmt.Printf("ntcpd: metrics at http://%s/metrics (or: mostctl metrics -url http://%s)\n",
+	fmt.Printf("ntcpd: metrics at http://%s/metrics, spans at http://%s/trace\n",
 		bound, bound)
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
+				fmt.Fprintf(os.Stderr, "ntcpd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("ntcpd: pprof at http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

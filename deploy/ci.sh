@@ -17,4 +17,10 @@ go test -race ./...
 echo "== bench smoke (E8/E10 hot paths) =="
 go test -run=NONE -bench 'E8|E10' -benchtime=50x .
 
+echo "== trace round-trip smoke =="
+# Runs an in-process 2-site MOST topology for a few steps and fails unless
+# every step's root span contains paired client+server propose/execute
+# spans for each site (and the injected WAN delay is attributed).
+go run ./cmd/mostctl trace -run -steps 5 > /dev/null
+
 echo "ci: all gates passed"

@@ -17,12 +17,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"neesgrid/internal/core"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // Site is one experiment site: an NTCP endpoint hosting one substructure.
@@ -57,6 +59,10 @@ type Config struct {
 	StepTimeout time.Duration
 	// OnStep observes each committed state (streaming, ingestion, UI).
 	OnStep func(structural.State)
+	// OnStepCtx is OnStep with the step's trace context attached: work done
+	// inside it (DAQ scans, streaming publishes) parents under the step's
+	// root span. When both are set only OnStepCtx is called.
+	OnStepCtx func(context.Context, structural.State)
 	// RunID prefixes transaction names so re-runs against long-lived
 	// servers do not collide. Empty means "run".
 	RunID string
@@ -72,6 +78,12 @@ type Config struct {
 	// run report's summary covers round-trip latency too. Nil allocates a
 	// private registry.
 	Telemetry *telemetry.Registry
+	// Tracer, when set, opens one root span per time step ("coord.step",
+	// with run and step attributes) and a child span per site per NTCP
+	// phase, so a merged cross-site timeline can answer "which site made
+	// step N slow". Share its recorder with the ogsi clients' tracer so
+	// client transport spans land in the same ring. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Report summarizes a run — the material of §3.4.
@@ -102,9 +114,10 @@ type Report struct {
 
 // Coordinator drives one distributed hybrid experiment.
 type Coordinator struct {
-	cfg   Config
-	sites []Site
-	tel   *telemetry.Registry
+	cfg    Config
+	sites  []Site
+	tel    *telemetry.Registry
+	tracer *trace.Tracer
 }
 
 // New validates the topology and returns a coordinator.
@@ -149,7 +162,7 @@ func New(cfg Config, sites ...Site) (*Coordinator, error) {
 	if cfg.Integrator == nil {
 		cfg.Integrator = structural.NewExplicitNewmark()
 	}
-	return &Coordinator{cfg: cfg, sites: sites, tel: telemetry.OrNew(cfg.Telemetry)}, nil
+	return &Coordinator{cfg: cfg, sites: sites, tel: telemetry.OrNew(cfg.Telemetry), tracer: cfg.Tracer}, nil
 }
 
 // siteOutcome is one site's response to a step.
@@ -200,7 +213,11 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rec, err := c.sites[i].Client.Propose(stepCtx, proposals[i])
+			pctx, sp := c.tracer.Start(stepCtx, "coord.propose", trace.KindInternal)
+			sp.SetAttr("site", c.sites[i].Name)
+			rec, err := c.sites[i].Client.Propose(pctx, proposals[i])
+			sp.SetError(err)
+			sp.End()
 			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
 		}(i)
 	}
@@ -220,7 +237,10 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 		// Cancel accepted siblings before reporting the rejection.
 		for i := range outcomes {
 			if i != rejected.site && outcomes[i].rec.State == core.StateAccepted {
-				_, _ = c.sites[i].Client.Cancel(stepCtx, proposals[i].Name)
+				cctx, sp := c.tracer.Start(stepCtx, "coord.cancel", trace.KindInternal)
+				sp.SetAttr("site", c.sites[i].Name)
+				_, _ = c.sites[i].Client.Cancel(cctx, proposals[i].Name)
+				sp.End()
 			}
 		}
 		return nil, fmt.Errorf("site %s rejected proposal: %s: %w",
@@ -232,7 +252,11 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rec, err := c.sites[i].Client.Execute(stepCtx, proposals[i].Name)
+			ectx, sp := c.tracer.Start(stepCtx, "coord.execute", trace.KindInternal)
+			sp.SetAttr("site", c.sites[i].Name)
+			rec, err := c.sites[i].Client.Execute(ectx, proposals[i].Name)
+			sp.SetError(err)
+			sp.End()
 			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
 		}(i)
 	}
@@ -279,7 +303,11 @@ func (c *Coordinator) restoreFast(ctx context.Context, step int, d []float64, n 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rec, err := c.sites[i].Client.RunFast(ctx, p)
+			fctx, sp := c.tracer.Start(ctx, "coord.faststep", trace.KindInternal)
+			sp.SetAttr("site", c.sites[i].Name)
+			rec, err := c.sites[i].Client.RunFast(fctx, p)
+			sp.SetError(err)
+			sp.End()
 			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
 		}(i)
 	}
@@ -313,12 +341,16 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		iota = structural.Ones(n)
 	}
 	step := 0
+	// stepCtx carries the current step's root span into the restoring-force
+	// evaluation the integrator triggers; the Run loop (single goroutine)
+	// reassigns it each step.
+	stepCtx := ctx
 	sys := &structural.System{
 		M: c.cfg.M,
 		C: c.cfg.C,
 		K: c.cfg.K,
 		R: func(d []float64) ([]float64, error) {
-			return c.restore(ctx, &step, d)
+			return c.restore(stepCtx, &step, d)
 		},
 	}
 	report := &Report{}
@@ -353,26 +385,52 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		return nil, report, err
 	}
 
+	// notify routes each committed state to OnStepCtx (trace-aware) or
+	// OnStep, whichever the caller wired.
+	notify := func(sctx context.Context, st structural.State) {
+		if c.cfg.OnStepCtx != nil {
+			c.cfg.OnStepCtx(sctx, st)
+			return
+		}
+		if c.cfg.OnStep != nil {
+			c.cfg.OnStep(st)
+		}
+	}
+
 	d0 := make([]float64, n)
 	v0 := make([]float64, n)
+	sctx, span := c.tracer.Start(ctx, "coord.step", trace.KindInternal)
+	span.SetAttr("run", c.cfg.RunID)
+	span.SetAttr("step", "0")
+	stepCtx = sctx
 	st, err := c.cfg.Integrator.Init(sys, c.cfg.Dt, d0, v0,
 		structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(0)))
 	if err != nil {
+		span.SetError(err)
+		span.End()
 		_, rep, err := finish(&stepError{step: 0, err: err}, 0)
 		return nil, rep, err
 	}
 	hist := structural.NewHistory(n, c.cfg.Steps)
 	hist.Record(st)
-	if c.cfg.OnStep != nil {
-		c.cfg.OnStep(st)
-	}
+	notify(sctx, st)
+	span.End()
 
 	for s := 1; s <= c.cfg.Steps; s++ {
 		step = s
+		// One root span per time step: the unit of the paper's latency
+		// breakdown. Every per-site NTCP span and (via OnStepCtx) every
+		// DAQ/streaming span of this step nests under it.
+		sctx, span := c.tracer.Start(ctx, "coord.step", trace.KindInternal)
+		span.SetAttr("run", c.cfg.RunID)
+		span.SetAttr("step", strconv.Itoa(s))
+		stepCtx = sctx
 		stepStart := time.Now()
 		st, err = c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
 		stepHist.ObserveDuration(time.Since(stepStart))
 		if err != nil {
+			span.SetError(err)
+			span.End()
 			// One stepError, reported through finish exactly once, so the
 			// failure event and telemetry snapshot are recorded once and the
 			// returned error is the same value the report carries.
@@ -383,9 +441,8 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		c.tel.Counter("coord.steps.completed").Inc()
 		hist.Record(st)
 		report.StepsCompleted = s
-		if c.cfg.OnStep != nil {
-			c.cfg.OnStep(st)
-		}
+		notify(sctx, st)
+		span.End()
 	}
 	_, rep, _ := finish(nil, 0)
 	rep.StepsCompleted = c.cfg.Steps

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // ServerOptions tunes an NTCP server.
@@ -28,6 +30,11 @@ type ServerOptions struct {
 	// private registry (share one with the hosting container so /metrics
 	// shows server and transport metrics together).
 	Telemetry *telemetry.Registry
+	// Tracer, when set, records spans for propose/validate/execute/cancel
+	// (with the transaction name and plugin type attached), parented under
+	// whatever span the request context carries — normally the container's
+	// server span. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (o *ServerOptions) fill() {
@@ -59,11 +66,13 @@ type Stats struct {
 // Server is the core NTCP server of Fig. 2: generic transaction management
 // in front of a site-supplied control plugin.
 type Server struct {
-	opts   ServerOptions
-	plugin Plugin
-	policy *SitePolicy
-	svc    *ogsi.Service
-	tel    *telemetry.Registry
+	opts       ServerOptions
+	plugin     Plugin
+	policy     *SitePolicy
+	svc        *ogsi.Service
+	tel        *telemetry.Registry
+	tracer     *trace.Tracer
+	pluginName string
 
 	mu      sync.Mutex
 	txs     map[string]*transaction
@@ -82,12 +91,14 @@ type transaction struct {
 func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
 	opts.fill()
 	s := &Server{
-		opts:    opts,
-		plugin:  plugin,
-		policy:  policy,
-		tel:     telemetry.OrNew(opts.Telemetry),
-		txs:     make(map[string]*transaction),
-		lastPos: make(map[string][]float64),
+		opts:       opts,
+		plugin:     plugin,
+		policy:     policy,
+		tel:        telemetry.OrNew(opts.Telemetry),
+		tracer:     opts.Tracer,
+		pluginName: strings.TrimPrefix(fmt.Sprintf("%T", plugin), "*"),
+		txs:        make(map[string]*transaction),
+		lastPos:    make(map[string][]float64),
 	}
 	s.svc = ogsi.NewService(opts.ServiceName)
 	s.svc.SDEs.SetClock(opts.Clock)
@@ -142,6 +153,12 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 	if err := p.Validate(); err != nil {
 		return nil, ogsi.Errf(ogsi.CodeBadRequest, "%v", err)
 	}
+	ctx, span := s.tracer.Start(ctx, "ntcp.propose", trace.KindInternal)
+	if span != nil {
+		span.SetAttr("tx", p.Name)
+		span.SetAttr("plugin", s.pluginName)
+		defer span.End()
+	}
 	s.mu.Lock()
 	if tx, ok := s.txs[p.Name]; ok {
 		s.stats.DedupedReplay++
@@ -176,6 +193,17 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		verdict = s.plugin.Validate(ctx, p.Actions)
 	}
 	s.tel.Histogram("ntcp.server.validate.seconds").ObserveDuration(time.Since(valStart))
+	if span != nil {
+		attrs := map[string]string{"tx": p.Name}
+		if verdict != nil {
+			attrs["rejected"] = verdict.Error()
+		}
+		s.tracer.RecordSpan(span.Context(), "ntcp.validate", trace.KindInternal,
+			valStart, time.Now(), attrs)
+		if verdict != nil {
+			span.SetAttr("rejected", "true")
+		}
+	}
 
 	s.mu.Lock()
 	if verdict != nil {
@@ -236,6 +264,12 @@ func (s *Server) expire(name string) {
 // (the class of transient-failure mishandling that ended the public MOST
 // run).
 func (s *Server) Execute(ctx context.Context, client, name string) (*Record, error) {
+	ctx, span := s.tracer.Start(ctx, "ntcp.execute", trace.KindInternal)
+	if span != nil {
+		span.SetAttr("tx", name)
+		span.SetAttr("plugin", s.pluginName)
+		defer span.End()
+	}
 	for {
 		s.mu.Lock()
 		tx, ok := s.txs[name]
@@ -309,7 +343,9 @@ func (s *Server) Execute(ctx context.Context, client, name string) (*Record, err
 			// an action starts against a physical rig it completes (or fails)
 			// regardless of whether the requesting connection survives, and a
 			// retry collects the cached outcome — the at-most-once contract.
-			go s.runExecution(name, actions, timeout, done)
+			// The initiating span's context rides along so the plugin run is
+			// recorded as its child even after the request returns.
+			go s.runExecution(name, actions, timeout, done, span.Context())
 
 			select {
 			case <-done:
@@ -327,13 +363,20 @@ func (s *Server) Execute(ctx context.Context, client, name string) (*Record, err
 	}
 }
 
-func (s *Server) runExecution(name string, actions []Action, timeout time.Duration, done chan struct{}) {
+func (s *Server) runExecution(name string, actions []Action, timeout time.Duration, done chan struct{}, parent trace.SpanContext) {
 	defer close(done)
 	execCtx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 	start := time.Now()
 	results, err := s.plugin.Execute(execCtx, actions)
 	s.tel.Histogram("ntcp.server.plugin.execute.seconds").ObserveDuration(time.Since(start))
+	if s.tracer != nil {
+		attrs := map[string]string{"tx": name, "plugin": s.pluginName}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		s.tracer.RecordSpan(parent, "ntcp.plugin.execute", trace.KindInternal, start, time.Now(), attrs)
+	}
 
 	s.mu.Lock()
 	tx, ok := s.txs[name]
@@ -374,6 +417,11 @@ func (s *Server) runExecution(name string, actions []Action, timeout time.Durati
 // actions cannot be undone — paper §2.1). A cancel racing the original
 // Propose mid-validation waits for the propose decision, like Execute.
 func (s *Server) Cancel(ctx context.Context, client, name string) (*Record, error) {
+	ctx, span := s.tracer.Start(ctx, "ntcp.cancel", trace.KindInternal)
+	if span != nil {
+		span.SetAttr("tx", name)
+		defer span.End()
+	}
 	for {
 		s.mu.Lock()
 		tx, ok := s.txs[name]

@@ -8,6 +8,7 @@
 package daq
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"math/rand"
@@ -118,6 +119,14 @@ func (d *DAQ) AttachSpool(s *Spool) {
 // Scan samples every channel at experiment time t / step and routes the
 // readings to the attached hub and spool.
 func (d *DAQ) Scan(step int, t float64) ([]Reading, error) {
+	return d.ScanContext(context.Background(), step, t)
+}
+
+// ScanContext is Scan with trace propagation: the hub publish of one scan
+// is a single batch carrying ctx, so when the hub is traced and ctx holds
+// the coordinator's step span, the DAQ readback shows up as that step's
+// "nsds.publish" child in the merged timeline.
+func (d *DAQ) ScanContext(ctx context.Context, step int, t float64) ([]Reading, error) {
 	d.mu.Lock()
 	readings := make([]Reading, len(d.channels))
 	for i, c := range d.channels {
@@ -136,9 +145,13 @@ func (d *DAQ) Scan(step int, t float64) ([]Reading, error) {
 	d.mu.Unlock()
 
 	if hub != nil {
-		for _, r := range readings {
-			hub.Publish(nsds.Sample{Channel: r.Channel, T: r.T, Value: r.Value})
+		// One batch per scan: consecutive sequence numbers for the whole
+		// instant, one lock acquisition, and one trace span.
+		batch := make([]nsds.Sample, len(readings))
+		for i, r := range readings {
+			batch[i] = nsds.Sample{Channel: r.Channel, T: r.T, Value: r.Value}
 		}
+		hub.PublishBatchContext(ctx, batch)
 	}
 	if spool != nil {
 		if err := spool.Append(readings); err != nil {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // Profile describes steady-state WAN behaviour.
@@ -167,10 +168,16 @@ func NewTransport(in *Injector) *Transport {
 	return &Transport{Injector: in, Inner: http.DefaultTransport}
 }
 
-// RoundTrip applies delay and scheduled failures before delegating.
+// RoundTrip applies delay and scheduled failures before delegating. When
+// the request context carries a live trace span (the ogsi client span),
+// the injected delay and any injected failure are annotated onto it —
+// this is what makes a faultnet-delayed site visibly slow in the merged
+// timeline rather than just mysteriously late.
 func (t *Transport) RoundTrip(r *http.Request) (*http.Response, error) {
 	delay, err := t.Injector.next()
+	span := trace.SpanFromContext(r.Context())
 	if delay > 0 {
+		span.Annotate("faultnet.delay", delay.String())
 		select {
 		case <-time.After(delay):
 		case <-r.Context().Done():
@@ -178,6 +185,7 @@ func (t *Transport) RoundTrip(r *http.Request) (*http.Response, error) {
 		}
 	}
 	if err != nil {
+		span.Annotate("faultnet.inject", err.Error())
 		return nil, err
 	}
 	inner := t.Inner

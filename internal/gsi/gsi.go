@@ -287,23 +287,38 @@ func (ts *TrustStore) Add(c *Certificate) {
 // Any difference in content — a tampered field, a different signature, an
 // unknown chain — changes the digest and takes the full slow path.
 func (ts *TrustStore) VerifyChain(chain []*Certificate, now time.Time) (string, error) {
+	identity, _, err := ts.verifyChainInfo(chain, now)
+	return identity, err
+}
+
+// VerifyInfo reports how a verification was satisfied — observability
+// metadata for trace spans, never a security signal.
+type VerifyInfo struct {
+	// CacheHit is true when the verdict came from the verified-chain cache
+	// rather than the full per-certificate cryptographic path.
+	CacheHit bool
+}
+
+func (ts *TrustStore) verifyChainInfo(chain []*Certificate, now time.Time) (string, VerifyInfo, error) {
+	var info VerifyInfo
 	if len(chain) == 0 {
-		return "", ErrBadChain
+		return "", info, ErrBadChain
 	}
 	key, cacheable := ts.cache.digest(chain)
 	if cacheable {
 		if identity, ok := ts.cache.lookup(key, now); ok {
-			return identity, nil
+			info.CacheHit = true
+			return identity, info, nil
 		}
 	}
 	identity, window, err := ts.verifyChainSlow(chain, now)
 	if err != nil {
-		return "", err
+		return "", info, err
 	}
 	if cacheable {
 		ts.cache.store(key, identity, window)
 	}
-	return identity, nil
+	return identity, info, nil
 }
 
 // verifyChainSlow is the full cryptographic path. On success it also
@@ -415,17 +430,25 @@ func AppendSignedEnvelope(dst []byte, cred *Credential, payload []byte) ([]byte,
 // Open verifies the envelope against the trust store and returns the
 // payload and the signer's base identity.
 func (ts *TrustStore) Open(env *Envelope, now time.Time) (payload []byte, identity string, err error) {
+	payload, identity, _, err = ts.OpenInfo(env, now)
+	return payload, identity, err
+}
+
+// OpenInfo is Open plus VerifyInfo describing how the chain verification
+// was satisfied, so the transport layer can attribute verification time
+// (and cache hits) on its trace spans.
+func (ts *TrustStore) OpenInfo(env *Envelope, now time.Time) (payload []byte, identity string, info VerifyInfo, err error) {
 	if env == nil {
-		return nil, "", ErrBadChain
+		return nil, "", info, ErrBadChain
 	}
-	identity, err = ts.VerifyChain(env.Chain, now)
+	identity, info, err = ts.verifyChainInfo(env.Chain, now)
 	if err != nil {
-		return nil, "", err
+		return nil, "", info, err
 	}
 	if !ed25519.Verify(env.Chain[0].PublicKey, env.Payload, env.Signature) {
-		return nil, "", ErrBadSignature
+		return nil, "", info, ErrBadSignature
 	}
-	return env.Payload, identity, nil
+	return env.Payload, identity, info, nil
 }
 
 // Gridmap maps Grid identities to site-local account names — the classic

@@ -1,6 +1,7 @@
 package most
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -132,7 +133,8 @@ func (e *Experiment) ingestTick() error {
 	return nil
 }
 
-// drainArchive flushes the spool tails and ingests the final blocks.
+// drainArchive flushes the spool tails, ingests the final blocks, and
+// persists the run's spans next to the data.
 func (e *Experiment) drainArchive() error {
 	if e.arch == nil {
 		return nil
@@ -142,5 +144,33 @@ func (e *Experiment) drainArchive() error {
 			return err
 		}
 	}
+	if err := e.writeSpans(); err != nil {
+		return err
+	}
 	return e.ingestTick()
+}
+
+// writeSpans persists the completed run's merged span snapshot as JSONL
+// (one SpanData per line) into the repository file store, so a trace of
+// the run survives alongside the archived sensor data.
+func (e *Experiment) writeSpans() error {
+	if e.arch == nil || e.Spec.Archive == nil {
+		return nil
+	}
+	path := filepath.Join(e.Spec.Archive.StoreDir, e.Spec.Name+"-spans.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("most: span archive: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for _, sd := range e.SpanSnapshot() {
+		if err := enc.Encode(sd); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("most: span archive: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("most: span archive: %w", err)
+	}
+	return nil
 }

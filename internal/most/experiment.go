@@ -12,6 +12,7 @@ import (
 	"neesgrid/internal/gsi"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // Fault is one scheduled network fault: before step Step executes, Count
@@ -89,6 +90,13 @@ type Experiment struct {
 	// whole WAN picture in one snapshot. (Server-side metrics live in each
 	// Site.Telemetry.)
 	Telemetry *telemetry.Registry
+	// Tracer records coordinator-side spans — the per-step root span, the
+	// per-site propose/execute client spans, and the DAQ readback publish —
+	// into TraceRecorder. Site-side spans live in each Site.SpanRecorder;
+	// both halves share trace IDs, so a merged per-step timeline is a join
+	// over the recorders.
+	Tracer        *trace.Tracer
+	TraceRecorder *trace.Recorder
 
 	arch      *archive
 	stopFeeds []func()
@@ -109,7 +117,9 @@ func Build(spec Spec) (*Experiment, error) {
 		return nil, err
 	}
 	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: coordCred,
-		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry()}
+		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry(),
+		TraceRecorder: trace.NewRecorder(0)}
+	exp.Tracer = trace.NewTracer("coordinator", exp.TraceRecorder)
 	for _, ss := range spec.Sites {
 		site, err := startSite(ca, trust, coordCred.Identity(), ss)
 		if err != nil {
@@ -140,6 +150,18 @@ func Build(spec Spec) (*Experiment, error) {
 		}
 	}
 	return exp, nil
+}
+
+// SpanSnapshot gathers every span recorded across the topology so far:
+// coordinator-side first, then each site in declaration order. Spans from
+// different recorders share trace IDs, so callers can group the snapshot
+// by TraceID to reassemble per-step cross-site timelines.
+func (e *Experiment) SpanSnapshot() []trace.SpanData {
+	spans := e.TraceRecorder.Spans()
+	for _, s := range e.Sites {
+		spans = append(spans, s.SpanRecorder.Spans()...)
+	}
+	return spans
 }
 
 // Site returns a running site by name.
@@ -224,12 +246,15 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 		RunID:      spec.Name,
 		FastPath:   spec.FastPath,
 		Telemetry:  e.Telemetry,
-		OnStep: func(st structural.State) {
+		Tracer:     e.Tracer,
+		OnStepCtx: func(ctx context.Context, st structural.State) {
 			// Faults scheduled for step N+1 are armed after step N commits.
 			applyFaults(st.Step + 1)
 			if spec.DAQEvery > 0 && st.Step%spec.DAQEvery == 0 {
 				for _, s := range e.Sites {
-					if _, err := s.DAQ.Scan(st.Step, st.T); err == nil {
+					// ctx carries the step span, so the DAQ readback's hub
+					// publish nests under the step in the merged timeline.
+					if _, err := s.DAQ.ScanContext(ctx, st.Step, st.T); err == nil {
 						results.DAQScans++
 					}
 				}
@@ -252,7 +277,7 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 	}
 	sites := make([]coord.Site, len(e.Sites))
 	for i, s := range e.Sites {
-		sites[i] = s.coordSite(e.Cred, e.Trust, spec.Retry, e.Telemetry)
+		sites[i] = s.coordSite(e.Cred, e.Trust, spec.Retry, e.Telemetry, e.Tracer)
 	}
 	co, err := coord.New(cfg, sites...)
 	if err != nil {

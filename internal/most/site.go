@@ -26,6 +26,7 @@ import (
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
 	"neesgrid/internal/telepresence"
+	"neesgrid/internal/trace"
 )
 
 // BackendKind selects how a site's substructure is realized — the axis
@@ -107,6 +108,11 @@ type Site struct {
 	// dispatch latency, transaction outcomes. Remotely readable via the
 	// container's /metrics endpoint and the service's "metrics" SDE.
 	Telemetry *telemetry.Registry
+	// Tracer records the site's server-side spans (container dispatch,
+	// NTCP lifecycle, chain verification, NSDS fan-out) into SpanRecorder;
+	// remotely readable via the container's /trace endpoint.
+	Tracer       *trace.Tracer
+	SpanRecorder *trace.Recorder
 
 	container *ogsi.Container
 	cleanup   []func()
@@ -309,11 +315,14 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 		spec.DOFs = []int{0}
 	}
 	site := &Site{
-		Spec:      spec,
-		Injector:  faultnet.NewInjector(spec.WAN),
-		Hub:       nsds.NewHub(),
-		Telemetry: telemetry.NewRegistry(),
+		Spec:         spec,
+		Injector:     faultnet.NewInjector(spec.WAN),
+		Hub:          nsds.NewHub(),
+		Telemetry:    telemetry.NewRegistry(),
+		SpanRecorder: trace.NewRecorder(0),
 	}
+	site.Tracer = trace.NewTracer(spec.Name, site.SpanRecorder)
+	site.Hub.UseTracer(site.Tracer)
 
 	backend, err := buildBackend(spec, site)
 	if err != nil {
@@ -328,7 +337,8 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	gm := gsi.NewGridmap(map[string]string{coordIdentity: "coord"})
 	cont := ogsi.NewContainer(siteCred, trust, gm)
 	cont.UseTelemetry(site.Telemetry)
-	server := core.NewServer(rec, spec.Policy, core.ServerOptions{Telemetry: site.Telemetry})
+	cont.UseTracer(site.Tracer)
+	server := core.NewServer(rec, spec.Policy, core.ServerOptions{Telemetry: site.Telemetry, Tracer: site.Tracer})
 	cont.AddService(server.Service())
 	addr, err := cont.Start("127.0.0.1:0")
 	if err != nil {
@@ -376,9 +386,10 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 // coordinator-side registry shared across all sites' NTCP clients (and the
 // coordinator itself), so a run reports WAN round-trip latency and recovery
 // counts in one place.
-func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core.RetryPolicy, reg *telemetry.Registry) coord.Site {
+func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core.RetryPolicy, reg *telemetry.Registry, tracer *trace.Tracer) coord.Site {
 	og := ogsi.NewClient("http://"+s.Addr, cred, trust)
 	og.HTTP = &http.Client{Transport: faultnet.NewTransport(s.Injector)}
+	og.Tracer = tracer
 	return coord.Site{
 		Name:         s.Spec.Name,
 		Client:       core.NewClientWithTelemetry(og, retry, reg),

@@ -9,12 +9,16 @@ package nsds
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"neesgrid/internal/trace"
 )
 
 // Sample is one measurement frame.
@@ -82,6 +86,11 @@ type Hub struct {
 
 	published atomic.Uint64
 	dropped   atomic.Uint64
+
+	// tracer, when set, records an "nsds.publish" child span for batch
+	// publishes that arrive with a trace context (PublishBatchContext).
+	// Atomic so the fan-out hot path never takes a lock to check it.
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewHub returns an empty hub.
@@ -250,14 +259,39 @@ func (h *Hub) Publish(s Sample) {
 	h.fanMu.RUnlock()
 }
 
+// UseTracer wires distributed tracing into the hub: batch publishes that
+// carry a trace context (PublishBatchContext) record an "nsds.publish"
+// child span with batch size, subscriber count, and drops. Nil disables.
+func (h *Hub) UseTracer(t *trace.Tracer) { h.tracer.Store(t) }
+
 // PublishBatch assigns consecutive sequence numbers to a burst of samples
 // and fans them out with one lock acquisition for the whole batch — the
 // shape a DAQ scan produces (every channel sampled at one instant). The
 // batch is delivered subscriber-major so each consumer sees the batch in
 // order; samples mutate in place (their Seq fields are filled in).
 func (h *Hub) PublishBatch(samples []Sample) {
+	h.PublishBatchContext(context.Background(), samples)
+}
+
+// PublishBatchContext is PublishBatch with trace propagation: when the
+// hub has a tracer and ctx carries a span (the coordinator's step span,
+// via OnStepCtx → daq.ScanContext), the fan-out is recorded as an
+// "nsds.publish" child span — the DAQ-readback leg of the paper's step
+// breakdown. Without a tracer or without a parent span the path is
+// byte-for-byte the old PublishBatch.
+func (h *Hub) PublishBatchContext(ctx context.Context, samples []Sample) {
 	if len(samples) == 0 {
 		return
+	}
+	var span *trace.Span
+	if tr := h.tracer.Load(); tr != nil && trace.SpanContextFromContext(ctx).IsValid() {
+		_, span = tr.Start(ctx, "nsds.publish", trace.KindInternal)
+		span.SetAttr("samples", strconv.Itoa(len(samples)))
+		droppedBefore := h.dropped.Load()
+		defer func() {
+			span.SetAttr("dropped", strconv.FormatUint(h.dropped.Load()-droppedBefore, 10))
+			span.End()
+		}()
 	}
 	h.mu.Lock()
 	if h.closed {
@@ -273,6 +307,9 @@ func (h *Hub) PublishBatch(samples []Sample) {
 	}
 	h.published.Add(uint64(len(samples)))
 	subs := h.subscribers()
+	if span != nil {
+		span.SetAttr("subscribers", strconv.Itoa(len(subs)))
+	}
 	// As in Publish: hold fanMu before dropping mu so no snapshotted
 	// subscriber's channel can be closed mid-batch.
 	h.fanMu.RLock()

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/trace"
 )
 
 // Client calls operations on a remote container, signing each request with
@@ -25,6 +27,11 @@ type Client struct {
 	HTTP *http.Client
 	// Clock overrides the time source used for envelope verification.
 	Clock func() time.Time
+	// Tracer, when set, opens a client span around every Call and carries
+	// its traceparent inside the signed request payload. Nil disables
+	// tracing (the traceparent of any span already in ctx still
+	// propagates, so an untraced client does not break the chain).
+	Tracer *trace.Tracer
 }
 
 // NewClient builds a client for the container at baseURL
@@ -69,7 +76,19 @@ func IsRemoteCode(err error, code string) bool {
 // Transport-level failures come back as ordinary errors (retryable);
 // service faults come back as *RemoteError (not retryable unless the code
 // says so).
-func (c *Client) Call(ctx context.Context, service, op string, params, out any) error {
+func (c *Client) Call(ctx context.Context, service, op string, params, out any) (err error) {
+	ctx, span := c.Tracer.Start(ctx, service+"."+op, trace.KindClient)
+	if span != nil {
+		span.SetAttr("peer.url", c.BaseURL)
+		defer func() {
+			span.SetError(err)
+			span.End()
+		}()
+	}
+	// The traceparent carried in the signed payload: the client span when
+	// tracing here, else whatever span the caller's context already holds.
+	traceparent := trace.SpanContextFromContext(ctx).Traceparent()
+
 	rawParams, err := json.Marshal(params)
 	if err != nil {
 		return fmt.Errorf("ogsi: marshal params: %w", err)
@@ -80,7 +99,7 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 	// credential.
 	payloadBuf := getBuf()
 	defer putBuf(payloadBuf)
-	*payloadBuf = appendRequestJSON((*payloadBuf)[:0], service, op, rawParams, c.now())
+	*payloadBuf = appendRequestJSON((*payloadBuf)[:0], service, op, rawParams, c.now(), traceparent)
 	bodyBuf := getBuf()
 	defer putBuf(bodyBuf)
 	*bodyBuf, err = gsi.AppendSignedEnvelope((*bodyBuf)[:0], c.Cred, *payloadBuf)
@@ -111,13 +130,27 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 	if err := json.Unmarshal(respBody, &respEnv); err != nil {
 		return fmt.Errorf("ogsi: bad response envelope: %w", err)
 	}
-	payload, _, err := c.Trust.Open(&respEnv, c.now())
+	verifyStart := time.Now()
+	payload, _, vinfo, err := c.Trust.OpenInfo(&respEnv, c.now())
+	if span != nil {
+		c.Tracer.RecordSpan(span.Context(), "gsi.verify", trace.KindInternal,
+			verifyStart, time.Now(), map[string]string{
+				"side":   "response",
+				"cached": strconv.FormatBool(vinfo.CacheHit),
+			})
+	}
 	if err != nil {
 		return fmt.Errorf("ogsi: response authentication: %w", err)
 	}
 	var resp response
 	if err := json.Unmarshal(payload, &resp); err != nil {
 		return fmt.Errorf("ogsi: bad response: %w", err)
+	}
+	// The server's span id, echoed in the signed response: lets the
+	// timeline renderer pair this client span with its server span even
+	// when a recorder ring has since evicted one side.
+	if resp.Trace != "" {
+		span.SetAttr("peer.span", resp.Trace)
 	}
 	if !resp.OK {
 		return &RemoteError{Code: resp.Code, Message: resp.Error}

@@ -137,8 +137,9 @@ func appendJSONString(dst []byte, s string) []byte {
 }
 
 // appendRequestJSON encodes the request wire form in one pass; params must
-// already be JSON (empty means null).
-func appendRequestJSON(dst []byte, service, op string, params []byte, sent time.Time) []byte {
+// already be JSON (empty means null), and traceparent (empty means absent)
+// matches the struct's omitempty semantics.
+func appendRequestJSON(dst []byte, service, op string, params []byte, sent time.Time, traceparent string) []byte {
 	dst = append(dst, `{"service":`...)
 	dst = appendJSONString(dst, service)
 	dst = append(dst, `,"op":`...)
@@ -151,7 +152,12 @@ func appendRequestJSON(dst []byte, service, op string, params []byte, sent time.
 	}
 	dst = append(dst, `,"sent":"`...)
 	dst = sent.AppendFormat(dst, time.RFC3339Nano)
-	return append(dst, `"}`...)
+	dst = append(dst, '"')
+	if traceparent != "" {
+		dst = append(dst, `,"trace":`...)
+		dst = appendJSONString(dst, traceparent)
+	}
+	return append(dst, '}')
 }
 
 // appendResponseJSON encodes the response wire form in one pass, matching
@@ -170,6 +176,10 @@ func appendResponseJSON(dst []byte, resp *response) []byte {
 	if len(resp.Result) > 0 {
 		dst = append(dst, `,"result":`...)
 		dst = append(dst, resp.Result...)
+	}
+	if resp.Trace != "" {
+		dst = append(dst, `,"trace":`...)
+		dst = appendJSONString(dst, resp.Trace)
 	}
 	return append(dst, '}')
 }

@@ -45,7 +45,7 @@ func TestAppendJSONStringMatchesEncodingJSON(t *testing.T) {
 func TestAppendRequestJSONDecodesToRequest(t *testing.T) {
 	params, _ := json.Marshal(map[string]int{"step": 7})
 	sent := time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC)
-	enc := appendRequestJSON(nil, "ntcp", "propose", params, sent)
+	enc := appendRequestJSON(nil, "ntcp", "propose", params, sent, "")
 	var req request
 	if err := json.Unmarshal(enc, &req); err != nil {
 		t.Fatalf("bad encoding: %v\n%s", err, enc)
@@ -62,12 +62,33 @@ func TestAppendRequestJSONDecodesToRequest(t *testing.T) {
 	}
 
 	// Nil params must encode as null, like json.Marshal of a nil RawMessage.
-	enc = appendRequestJSON(nil, "svc", "op", nil, sent)
+	enc = appendRequestJSON(nil, "svc", "op", nil, sent, "")
 	if !bytes.Contains(enc, []byte(`"params":null`)) {
 		t.Fatalf("nil params: %s", enc)
 	}
 	if err := json.Unmarshal(enc, &req); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendRequestJSONMatchesMarshal(t *testing.T) {
+	params, _ := json.Marshal(map[string]int{"step": 7})
+	sent := time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC)
+	cases := []request{
+		{Service: "ntcp", Op: "propose", Params: params, Sent: sent},
+		{Service: "ntcp", Op: "propose", Params: params, Sent: sent,
+			Trace: "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"},
+		{Service: "svc", Op: "op", Sent: sent, Trace: `odd "trace" value`},
+	}
+	for _, rq := range cases {
+		want, err := json.Marshal(&rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := appendRequestJSON(nil, rq.Service, rq.Op, rq.Params, rq.Sent, rq.Trace)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("append %s != marshal %s", got, want)
+		}
 	}
 }
 
@@ -77,6 +98,9 @@ func TestAppendResponseJSONMatchesMarshal(t *testing.T) {
 		{OK: true, Result: json.RawMessage(`{"f":[1.5]}`)},
 		{OK: false, Code: CodeDenied, Error: `authentication "failed"`},
 		{OK: false, Code: CodeNotFound, Error: "no service", Result: nil},
+		{OK: true, Trace: "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"},
+		{OK: true, Result: json.RawMessage(`7`), Trace: `needs "escaping"`},
+		{OK: false, Code: CodeInternal, Error: "boom", Trace: "00-x-x-01"},
 	}
 	for _, resp := range cases {
 		want, err := json.Marshal(resp)

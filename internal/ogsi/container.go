@@ -8,11 +8,13 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"neesgrid/internal/gsi"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // Caller identifies the authenticated, authorized origin of a request.
@@ -94,20 +96,25 @@ func (s *Service) handler(op string) (Handler, bool) {
 }
 
 // request is the wire form of a service call (carried inside a signed
-// envelope).
+// envelope). Trace is the caller's W3C traceparent: carrying it inside
+// the signed payload (rather than an HTTP header) means the trace lineage
+// is covered by the envelope signature like everything else.
 type request struct {
 	Service string          `json:"service"`
 	Op      string          `json:"op"`
 	Params  json.RawMessage `json:"params"`
 	Sent    time.Time       `json:"sent"`
+	Trace   string          `json:"trace,omitempty"`
 }
 
-// response is the wire form of a service reply.
+// response is the wire form of a service reply. Trace echoes the server
+// span's traceparent so the client can link its span to the server's.
 type response struct {
 	OK     bool            `json:"ok"`
 	Code   string          `json:"code,omitempty"`
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
+	Trace  string          `json:"trace,omitempty"`
 }
 
 // inspectParams is the FindServiceData request body.
@@ -140,6 +147,7 @@ type Container struct {
 	mu       sync.RWMutex
 	services map[string]*Service
 	tel      *telemetry.Registry
+	tracer   *trace.Tracer
 
 	httpServer *http.Server
 	listener   net.Listener
@@ -181,6 +189,23 @@ func (c *Container) Telemetry() *telemetry.Registry {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.tel
+}
+
+// UseTracer enables distributed tracing: every authenticated request gets
+// a server span (parented under the caller's traceparent when the signed
+// payload carries one), and the tracer's recorder is served at GET /trace.
+// Call before traffic flows; nil disables tracing.
+func (c *Container) UseTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
+// Tracer returns the container's tracer (nil when tracing is off).
+func (c *Container) Tracer() *trace.Tracer {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tracer
 }
 
 // metricsSnapshot captures the registry after mirroring the trust store's
@@ -336,7 +361,12 @@ func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "ogsi: bad envelope", http.StatusBadRequest)
 		return
 	}
-	payload, identity, err := c.trust.Open(&env, c.clock())
+	// Chain verification runs before the payload — and thus the caller's
+	// traceparent — is readable, so its extent is measured here and
+	// recorded as a retroactive child span once the server span exists.
+	verifyStart := time.Now()
+	payload, identity, vinfo, err := c.trust.OpenInfo(&env, c.clock())
+	verifyEnd := time.Now()
 	if err != nil {
 		c.Telemetry().Counter("ogsi.auth.failed").Inc()
 		c.reply(w, faultResponse(Errf(CodeDenied, "authentication failed: %v", err)))
@@ -353,8 +383,31 @@ func (c *Container) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		c.reply(w, faultResponse(Errf(CodeBadRequest, "bad request: %v", err)))
 		return
 	}
-	resp := c.dispatch(r.Context(), Caller{Identity: identity, Account: account}, &req)
+	ctx := r.Context()
+	var span *trace.Span
+	if tr := c.Tracer(); tr != nil {
+		if sc, perr := trace.ParseTraceparent(req.Trace); perr == nil {
+			ctx = trace.ContextWithRemote(ctx, sc)
+		}
+		ctx, span = tr.Start(ctx, req.Service+"."+req.Op, trace.KindServer)
+		span.SetAttr("caller", identity)
+		tr.RecordSpan(span.Context(), "gsi.verify", trace.KindInternal,
+			verifyStart, verifyEnd, map[string]string{
+				"side":   "request",
+				"cached": fmt.Sprintf("%t", vinfo.CacheHit),
+			})
+	}
+	resp := c.dispatch(ctx, Caller{Identity: identity, Account: account}, &req)
+	if span != nil {
+		if !resp.OK {
+			span.SetAttr("fault", resp.Code)
+		}
+		// Echo the server span inside the signed response so the client
+		// can pair its span with this one.
+		resp.Trace = span.Context().Traceparent()
+	}
 	c.reply(w, resp)
+	span.End()
 }
 
 // reply signs and writes a response envelope, encoding response and
@@ -387,6 +440,7 @@ func (c *Container) Start(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/ogsi", c)
 	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/trace", c.serveTrace)
 	c.httpServer = &http.Server{Handler: mux}
 	c.stopReaper = make(chan struct{})
 	go func() {
@@ -413,18 +467,43 @@ func (c *Container) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// serveMetrics renders the container's telemetry registry as indented JSON
-// on GET /metrics. Unlike /ogsi it is unsigned: metrics are operational data
-// for dashboards and the mostctl metrics command, not control traffic.
+// serveMetrics renders the container's telemetry registry on GET /metrics.
+// Unlike /ogsi it is unsigned: metrics are operational data for dashboards
+// and the mostctl metrics command, not control traffic. The default
+// rendering is indented JSON; a client whose Accept header asks for
+// text/plain (a Prometheus scraper) gets the text exposition format.
 func (c *Container) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "ogsi: GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		_ = telemetry.WritePrometheus(w, c.metricsSnapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(c.metricsSnapshot())
+}
+
+// serveTrace renders the container's recent spans as JSON on GET /trace.
+// Unsigned for the same reason as /metrics: spans are operational data
+// (names, IDs, durations) for mostctl and dashboards, not control
+// traffic. With no tracer wired it serves an empty list.
+func (c *Container) serveTrace(w http.ResponseWriter, r *http.Request) {
+	tr := c.Tracer()
+	if tr == nil {
+		if r.Method != http.MethodGet {
+			http.Error(w, "ogsi: GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("[]\n"))
+		return
+	}
+	trace.Handler(tr.Recorder()).ServeHTTP(w, r)
 }
 
 // Stop shuts the container down.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 
 	"neesgrid/internal/telemetry"
@@ -132,5 +133,53 @@ func TestUseTelemetrySharesRegistry(t *testing.T) {
 	}
 	if f.container.Telemetry() != shared {
 		t.Fatal("container not using shared registry")
+	}
+}
+
+// TestMetricsPrometheusNegotiation: a scraper that Accepts text/plain gets
+// the Prometheus exposition format; everyone else keeps getting JSON.
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	f := newFabric(t, func(c *Container) { c.AddService(echoService()) })
+	var out map[string]string
+	if err := f.client.Call(context.Background(), "echo", "echo", map[string]string{}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	req, err := http.NewRequest(http.MethodGet, "http://"+f.addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.PrometheusContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE ogsi_echo_echo_requests_total counter",
+		"ogsi_echo_echo_seconds_bucket{le=\"+Inf\"} 1",
+		"ogsi_echo_echo_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// No Accept header: JSON as before.
+	plain, err := http.Get("http://" + f.addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Body.Close()
+	if ct := plain.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type = %q", ct)
 	}
 }

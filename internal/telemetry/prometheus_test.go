@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ntcp.server.proposed").Add(7)
+	r.Gauge("nsds.subscribers").Set(3)
+	h := r.Histogram("ogsi.echo.seconds", 0.001, 0.01)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ntcp_server_proposed_total counter\nntcp_server_proposed_total 7\n",
+		"# TYPE nsds_subscribers gauge\nnsds_subscribers 3\n",
+		"# TYPE ogsi_echo_seconds histogram\n",
+		`ogsi_echo_seconds_bucket{le="0.001"} 1`,
+		`ogsi_echo_seconds_bucket{le="0.01"} 2`,
+		`ogsi_echo_seconds_bucket{le="+Inf"} 3`,
+		"ogsi_echo_seconds_sum 2.0055\n",
+		"ogsi_echo_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"ntcp.server.proposed": "ntcp_server_proposed",
+		"already_fine:x9":      "already_fine:x9",
+		"9starts.with.digit":   "_9starts_with_digit",
+		"odd-chars e/f":        "odd_chars_e_f",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -129,6 +129,13 @@ func (h *Histogram) Time(fn func()) {
 	h.ObserveDuration(time.Since(start))
 }
 
+// BucketCount is one cumulative histogram bucket: the number of
+// observations less than or equal to the upper bound LE.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
 // HistogramSnapshot is a point-in-time summary of a histogram.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
@@ -139,6 +146,10 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// Buckets are the cumulative counts at each finite upper bound. The
+	// implicit +Inf bucket is Count (and is omitted here so the snapshot
+	// stays encodable by encoding/json, which rejects infinities).
+	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
 // Snapshot summarizes the histogram. Quantiles are bucket-interpolated; the
@@ -162,6 +173,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	snap.P50 = h.quantile(counts, n, snap, 0.50)
 	snap.P95 = h.quantile(counts, n, snap, 0.95)
 	snap.P99 = h.quantile(counts, n, snap, 0.99)
+	snap.Buckets = make([]BucketCount, len(h.bounds))
+	var cum int64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		snap.Buckets[i] = BucketCount{LE: b, Count: cum}
+	}
 	return snap
 }
 
@@ -173,7 +190,11 @@ func (h *Histogram) quantile(counts []int64, n int64, snap HistogramSnapshot, q 
 			continue
 		}
 		lo := snap.Min
-		if i > 0 {
+		if i > 0 && h.bounds[i-1] > lo {
+			// The bucket's lower bound, but never below the observed
+			// minimum — with all mass in one high bucket (e.g. a single
+			// observation, or everything in the +Inf overflow) the bucket
+			// edge would otherwise drag the estimate under Min.
 			lo = h.bounds[i-1]
 		}
 		hi := snap.Max
@@ -227,14 +248,24 @@ func (l *EventLog) SetClock(clock func() time.Time) {
 	l.clock = clock
 }
 
-// Record appends an event, evicting the oldest when full.
+// Record appends an event, evicting the oldest when full. The fields map
+// is copied before it is retained, so a caller that reuses or keeps
+// mutating its map after recording cannot race the log's readers or
+// retroactively rewrite history.
 func (l *EventLog) Record(component, event string, fields map[string]any) {
+	var copied map[string]any
+	if len(fields) > 0 {
+		copied = make(map[string]any, len(fields))
+		for k, v := range fields {
+			copied[k] = v
+		}
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.wrapped {
 		l.dropped++
 	}
-	l.ring[l.next] = Event{TS: l.clock(), Component: component, Event: event, Fields: fields}
+	l.ring[l.next] = Event{TS: l.clock(), Component: component, Event: event, Fields: copied}
 	l.next++
 	if l.next == len(l.ring) {
 		l.next = 0

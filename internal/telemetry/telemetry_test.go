@@ -195,3 +195,104 @@ func TestSnapshotSortedNames(t *testing.T) {
 		t.Fatalf("histogram names = %v", hn)
 	}
 }
+
+func TestEventLogRecordCopiesFields(t *testing.T) {
+	l := NewEventLog(8)
+	fields := map[string]any{"step": 1, "site": "uiuc"}
+	l.Record("coord", "fault", fields)
+	fields["step"] = 99
+	delete(fields, "site")
+	evs := l.Events()
+	if len(evs) != 1 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	if evs[0].Fields["step"] != 1 || evs[0].Fields["site"] != "uiuc" {
+		t.Fatalf("recorded fields were mutated through the caller's map: %v", evs[0].Fields)
+	}
+
+	// Under -race: a caller that keeps writing its map after recording must
+	// not race readers of the log.
+	shared := map[string]any{"n": 0}
+	l.Record("coord", "reuse", shared)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			shared["n"] = i
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			for _, ev := range l.Events() {
+				_ = ev.Fields["n"]
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := newHistogram(nil)
+	h.Observe(0.003) // interior bucket (0.0025, 0.005]
+	s := h.Snapshot()
+	if s.P50 != 0.003 || s.P95 != 0.003 || s.P99 != 0.003 {
+		t.Fatalf("single observation quantiles = p50=%g p95=%g p99=%g, want all 0.003",
+			s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramQuantileAllMassInOverflow(t *testing.T) {
+	h := newHistogram([]float64{0.01})
+	h.Observe(5)
+	h.Observe(7)
+	s := h.Snapshot()
+	// Every observation is beyond the last bound; the estimate must stay
+	// inside [Min, Max], not sag toward the 0.01 bucket edge.
+	if s.P50 < s.Min || s.P50 > s.Max {
+		t.Fatalf("p50 = %g outside [%g, %g]", s.P50, s.Min, s.Max)
+	}
+	if s.P50 != 6 {
+		t.Fatalf("p50 = %g, want midpoint 6", s.P50)
+	}
+	if s.P99 < s.Min || s.P99 > s.Max {
+		t.Fatalf("p99 = %g outside [%g, %g]", s.P99, s.Min, s.Max)
+	}
+}
+
+func TestHistogramQuantileBelowFirstBound(t *testing.T) {
+	h := newHistogram(nil) // first bound 0.0001
+	h.Observe(0.00001)
+	h.Observe(0.00002)
+	s := h.Snapshot()
+	for _, q := range []float64{s.P50, s.P95, s.P99} {
+		if q < s.Min || q > s.Max {
+			t.Fatalf("quantile %g outside [%g, %g]", q, s.Min, s.Max)
+		}
+	}
+	if s.Max != 0.00002 {
+		t.Fatalf("max = %g", s.Max)
+	}
+}
+
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []BucketCount{{LE: 1, Count: 1}, {LE: 2, Count: 3}, {LE: 5, Count: 4}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v", s.Buckets)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	// +Inf is implied by Count: one observation (10) beyond the last bound.
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+}

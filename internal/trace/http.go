@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler serves the recorder's retained spans as a JSON array — the
+// unsigned GET /trace endpoint every container exposes. Like /metrics it
+// is read-only operational telemetry: span names, IDs and durations carry
+// no experiment payload, so requiring a signed envelope would only stop
+// dashboards and mostctl from polling it.
+//
+// Query parameters:
+//
+//	trace=<32 hex>  only spans of that trace
+//	limit=<n>       only the n most recent matching spans
+func Handler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		var spans []SpanData
+		if id := r.URL.Query().Get("trace"); id != "" {
+			spans = rec.Trace(id)
+		} else {
+			spans = rec.Spans()
+		}
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			if n, err := strconv.Atoi(ls); err == nil && n >= 0 && n < len(spans) {
+				spans = spans[len(spans)-n:]
+			}
+		}
+		if spans == nil {
+			spans = []SpanData{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(spans)
+	})
+}
+
+// DebugMux builds the opt-in debug mux the CLIs serve behind their -pprof
+// flag: net/http/pprof profile endpoints plus GET /trace when a recorder
+// is supplied. Kept here so ntcpd, nsdsd and coordinator share one wiring.
+func DebugMux(rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if rec != nil {
+		mux.Handle("/trace", Handler(rec))
+	}
+	return mux
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// DefaultCapacity is the recorder ring size when none is given: enough
+// for a few hundred MOST time steps' worth of spans per process while
+// keeping the per-container memory footprint bounded.
+const DefaultCapacity = 8192
+
+// Recorder is a bounded ring of finished spans, the per-process span
+// sink. Like telemetry.EventLog it favours cheap writes over retention:
+// Record is a short critical section with no allocation beyond the ring
+// slot, and when the ring wraps the oldest spans are dropped (counted,
+// never blocking the hot path).
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []SpanData
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRecorder builds a recorder keeping the most recent capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{ring: make([]SpanData, capacity)}
+}
+
+// Record appends a finished span, evicting the oldest when full. Safe on
+// a nil recorder (drops).
+func (r *Recorder) Record(sd SpanData) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.ring[r.next] = sd
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Recorder) Spans() []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		return append([]SpanData(nil), r.ring[:r.next]...)
+	}
+	out := make([]SpanData, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	return append(out, r.ring[:r.next]...)
+}
+
+// Trace returns the retained spans of one trace (hex ID), oldest first.
+func (r *Recorder) Trace(traceID string) []SpanData {
+	var out []SpanData
+	for _, sd := range r.Spans() {
+		if sd.TraceID == traceID {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// Dropped reports how many spans the ring has evicted.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
