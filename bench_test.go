@@ -52,7 +52,7 @@ func buildExperiment(b *testing.B, spec most.Spec) *most.Experiment {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.Cleanup(exp.Stop)
+	b.Cleanup(func() { _ = exp.Stop() })
 	return exp
 }
 

@@ -6,41 +6,42 @@
 // Example:
 //
 //	chefd -addr 127.0.0.1:8088 -nsds 127.0.0.1:7777
+//
+// SIGINT/SIGTERM drain the process: the NSDS feed disconnects first, then
+// in-flight HTTP requests get the drain deadline to finish before the
+// listener closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"neesgrid/internal/collab"
 	"neesgrid/internal/nsds"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/telepresence"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:8088", "HTTP listen address")
 	nsdsAddr := flag.String("nsds", "", "NSDS endpoint to record (empty = no viewer feed)")
 	workspace := flag.String("workspace", "most", "workspace name")
 	retention := flag.Int("retention", 100_000, "viewer samples kept per channel")
 	camera := flag.String("camera", "", "expose a telepresence camera tracking this viewer channel")
+	var debugFlags runtime.DebugFlags
+	debugFlags.Register(nil)
 	flag.Parse()
 
 	ws := collab.NewWorkspace(*workspace)
 	viewer := collab.NewViewer(*retention)
 
-	if *nsdsAddr != "" {
-		cl, err := nsds.DialCatchUp(*nsdsAddr, 4096, nil, nil)
-		if err != nil {
-			fatal("nsds: %v", err)
-		}
-		defer cl.Close()
-		go viewer.FeedFrom(cl.C())
-		fmt.Printf("chefd: recording stream from %s\n", *nsdsAddr)
-	}
+	sup := runtime.NewSupervisor("chefd")
+	ds := debugFlags.Install(sup, nil)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", collab.NewHandler(ws, viewer))
@@ -59,23 +60,43 @@ func main() {
 		mux.Handle("/cameras/", telepresence.NewHandler(reg))
 		fmt.Printf("chefd: telepresence camera %s-cam1 (GET /cameras)\n", *camera)
 	}
-	srv := &http.Server{Addr: *addr, Handler: mux}
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fatal("serve: %v", err)
-		}
-	}()
-	fmt.Printf("chefd: workspace %q on http://%s (POST /login, /chat, /board, /notebook, GET /presence, /viewer/window)\n",
-		*workspace, *addr)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("chefd: shutting down")
-	_ = srv.Close()
-}
+	// Stop order (reverse of registration): the feed disconnects before the
+	// workspace server shuts down.
+	srv := runtime.NewDebugServer(*addr, mux)
+	sup.Add("workspace-server", runtime.Funcs{
+		StartFunc: func(ctx context.Context) error {
+			if err := srv.Start(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("chefd: workspace %q on http://%s (POST /login, /chat, /board, /notebook, GET /presence, /viewer/window)\n",
+				*workspace, srv.Addr())
+			if ds != nil {
+				fmt.Printf("chefd: probes at http://%s/healthz /readyz\n", ds.Addr())
+			}
+			return nil
+		},
+		StopFunc:    srv.Stop,
+		HealthyFunc: srv.Healthy,
+	})
+	if *nsdsAddr != "" {
+		var cl *nsds.Client
+		sup.Add("nsds-feed", runtime.Funcs{
+			StartFunc: func(context.Context) error {
+				var err error
+				cl, err = nsds.DialCatchUp(*nsdsAddr, 4096, nil, nil)
+				if err != nil {
+					return fmt.Errorf("nsds: %w", err)
+				}
+				go viewer.FeedFrom(cl.C())
+				fmt.Printf("chefd: recording stream from %s\n", *nsdsAddr)
+				return nil
+			},
+			StopFunc: func(context.Context) error {
+				return cl.Close()
+			},
+		})
+	}
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "chefd: "+format+"\n", args...)
-	os.Exit(1)
+	return runtime.Main("chefd", sup, nil)
 }

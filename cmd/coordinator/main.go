@@ -22,6 +22,10 @@
 //	    {"name": "cu",   "addr": "127.0.0.1:4457", "point": "right-column", "k": 7.7e5}
 //	  ]
 //	}
+//
+// SIGINT/SIGTERM interrupt the stepping loop but still flush the partial
+// response history, ground record and run report before exiting 0; a run
+// that dies on its own exits 2.
 package main
 
 import (
@@ -29,7 +33,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -39,6 +42,7 @@ import (
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/gsi"
 	"neesgrid/internal/ogsi"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
 	"neesgrid/internal/trace"
@@ -74,36 +78,39 @@ type experimentConfig struct {
 	Sites   []siteConfig `json:"sites"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	configPath := flag.String("config", "", "experiment JSON (required)")
 	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
 	credPath := flag.String("cred", "", "coordinator credential")
 	out := flag.String("out", "out", "output directory")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
+	var debugFlags runtime.DebugFlags
+	debugFlags.Register(nil)
 	flag.Parse()
 	if *configPath == "" || *credPath == "" {
-		fatal("need -config and -cred")
+		return fatal("need -config and -cred")
 	}
 
 	raw, err := os.ReadFile(*configPath)
 	if err != nil {
-		fatal("read config: %v", err)
+		return fatal("read config: %v", err)
 	}
 	var cfg experimentConfig
 	if err := json.Unmarshal(raw, &cfg); err != nil {
-		fatal("parse config: %v", err)
+		return fatal("parse config: %v", err)
 	}
 	if len(cfg.Sites) == 0 || cfg.Mass <= 0 || cfg.Dt <= 0 || cfg.Steps <= 0 {
-		fatal("config needs sites, mass, dt, steps")
+		return fatal("config needs sites, mass, dt, steps")
 	}
 
 	cert, err := gsi.LoadCertificate(*caCert)
 	if err != nil {
-		fatal("load CA cert: %v", err)
+		return fatal("load CA cert: %v", err)
 	}
 	cred, err := gsi.LoadCredential(*credPath)
 	if err != nil {
-		fatal("load credential: %v", err)
+		return fatal("load credential: %v", err)
 	}
 	trust := gsi.NewTrustStore(cert)
 
@@ -123,15 +130,16 @@ func main() {
 	reg := telemetry.NewRegistry()
 	rec := trace.NewRecorder(0)
 	tracer := trace.NewTracer("coordinator", rec)
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
-				fmt.Fprintf(os.Stderr, "coordinator: pprof: %v\n", err)
-			}
-		}()
-		fmt.Printf("coordinator: pprof at http://%s/debug/pprof/, spans at http://%s/trace\n",
-			*pprofAddr, *pprofAddr)
+
+	sup := runtime.NewSupervisor("coordinator")
+	if ds := debugFlags.Install(sup, rec); ds != nil {
+		sup.AddFuncs("banner", runtime.Funcs{StartFunc: func(context.Context) error {
+			fmt.Printf("coordinator: pprof at http://%s/debug/pprof/, spans at /trace, probes at /healthz /readyz\n",
+				ds.Addr())
+			return nil
+		}})
 	}
+
 	totalK := 0.0
 	sites := make([]coord.Site, len(cfg.Sites))
 	for i, s := range cfg.Sites {
@@ -148,7 +156,7 @@ func main() {
 
 	ground, err := loadGround(cfg)
 	if err != nil {
-		fatal("%v", err)
+		return fatal("%v", err)
 	}
 
 	m := structural.Diagonal([]float64{cfg.Mass})
@@ -168,34 +176,45 @@ func main() {
 		Tracer:    tracer,
 	}, sites...)
 	if err != nil {
-		fatal("coordinator: %v", err)
+		return fatal("coordinator: %v", err)
 	}
 
-	fmt.Printf("coordinator: running %q: %d steps x %g s over %d sites\n",
-		cfg.Name, cfg.Steps, cfg.Dt, len(sites))
-	hist, report, runErr := co.Run(context.Background())
+	// The stepping loop is the foreground job: a SIGINT/SIGTERM cancels
+	// ctx, the in-flight step errors out, and the flush below still runs —
+	// an interrupted run keeps its partial history and report.
+	return runtime.Main("coordinator", sup, func(ctx context.Context) error {
+		fmt.Printf("coordinator: running %q: %d steps x %g s over %d sites\n",
+			cfg.Name, cfg.Steps, cfg.Dt, len(sites))
+		hist, report, runErr := co.Run(ctx)
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal("output dir: %v", err)
-	}
-	writeOutputs(*out, cfg.Name, hist, ground)
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("output dir: %w", err)
+		}
+		writeOutputs(*out, cfg.Name, hist, ground)
 
-	fmt.Printf("coordinator: completed %d/%d steps in %s (recovered %d transient failures, %d retries)\n",
-		report.StepsCompleted, cfg.Steps, report.Elapsed.Round(time.Millisecond),
-		report.Recovered, report.Retries)
-	if sl := report.StepLatency; sl.Count > 0 {
-		fmt.Printf("coordinator: step latency p50=%s p95=%s p99=%s\n",
-			seconds(sl.P50), seconds(sl.P95), seconds(sl.P99))
-	}
-	if rtt, ok := report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
-		fmt.Printf("coordinator: NTCP rtt p50=%s p95=%s p99=%s over %d calls\n",
-			seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
-	}
-	if runErr != nil {
-		fmt.Printf("coordinator: run terminated prematurely at step %d: %v\n",
-			report.FailedStep, runErr)
-		os.Exit(2)
-	}
+		fmt.Printf("coordinator: completed %d/%d steps in %s (recovered %d transient failures, %d retries)\n",
+			report.StepsCompleted, cfg.Steps, report.Elapsed.Round(time.Millisecond),
+			report.Recovered, report.Retries)
+		if sl := report.StepLatency; sl.Count > 0 {
+			fmt.Printf("coordinator: step latency p50=%s p95=%s p99=%s\n",
+				seconds(sl.P50), seconds(sl.P95), seconds(sl.P99))
+		}
+		if rtt, ok := report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
+			fmt.Printf("coordinator: NTCP rtt p50=%s p95=%s p99=%s over %d calls\n",
+				seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
+		}
+		if runErr != nil {
+			if ctx.Err() != nil {
+				// Signal-initiated: outputs are flushed, exit clean.
+				fmt.Printf("coordinator: run interrupted at step %d, outputs flushed\n",
+					report.FailedStep)
+				return nil
+			}
+			return runtime.Exitf(2, "run terminated prematurely at step %d: %v",
+				report.FailedStep, runErr)
+		}
+		return nil
+	})
 }
 
 // seconds renders a histogram value recorded in seconds as a duration.
@@ -251,7 +270,7 @@ func writeOutputs(dir, name string, hist *structural.History, ground *groundmoti
 	}
 }
 
-func fatal(format string, args ...any) {
+func fatal(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,77 +19,87 @@ import (
 	"time"
 
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/runtime"
 )
 
 func main() {
 	if len(os.Args) < 2 {
-		fatal("usage: gridca <init|issue> [flags]")
+		fmt.Fprintln(os.Stderr, "gridca: usage: gridca <init|issue> [flags]")
+		os.Exit(1)
 	}
+	// Even the short-lived CA tool runs through the shared runtime entry:
+	// one signal/exit-code path for every binary in the deployment. The
+	// supervisor is empty — the subcommand is the foreground job.
+	var job func(ctx context.Context) error
 	switch os.Args[1] {
 	case "init":
-		runInit(os.Args[2:])
+		job = runInit(os.Args[2:])
 	case "issue":
-		runIssue(os.Args[2:])
+		job = runIssue(os.Args[2:])
 	default:
-		fatal("unknown subcommand %q (want init or issue)", os.Args[1])
+		fmt.Fprintf(os.Stderr, "gridca: unknown subcommand %q (want init or issue)\n", os.Args[1])
+		os.Exit(1)
 	}
+	os.Exit(runtime.Main("gridca", runtime.NewSupervisor("gridca"), job))
 }
 
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "gridca: "+format+"\n", args...)
-	os.Exit(1)
-}
-
-func runInit(args []string) {
+func runInit(args []string) func(ctx context.Context) error {
 	fs := flag.NewFlagSet("init", flag.ExitOnError)
 	dir := fs.String("dir", "certs", "output directory")
 	name := fs.String("name", "/O=NEES/CN=NEES CA", "CA subject name")
 	validity := fs.Duration("validity", 365*24*time.Hour, "CA validity")
 	_ = fs.Parse(args)
 
-	ca, err := gsi.NewAuthority(*name, *validity)
-	if err != nil {
-		fatal("create CA: %v", err)
+	return func(context.Context) error {
+		ca, err := gsi.NewAuthority(*name, *validity)
+		if err != nil {
+			return fmt.Errorf("create CA: %w", err)
+		}
+		if err := ca.Save(filepath.Join(*dir, "ca.json")); err != nil {
+			return fmt.Errorf("save CA: %w", err)
+		}
+		if err := gsi.SaveCertificate(ca.Cert, filepath.Join(*dir, "ca.cert")); err != nil {
+			return fmt.Errorf("save CA certificate: %w", err)
+		}
+		fmt.Printf("created CA %q\n  key:  %s\n  cert: %s\n",
+			*name, filepath.Join(*dir, "ca.json"), filepath.Join(*dir, "ca.cert"))
+		return nil
 	}
-	if err := ca.Save(filepath.Join(*dir, "ca.json")); err != nil {
-		fatal("save CA: %v", err)
-	}
-	if err := gsi.SaveCertificate(ca.Cert, filepath.Join(*dir, "ca.cert")); err != nil {
-		fatal("save CA certificate: %v", err)
-	}
-	fmt.Printf("created CA %q\n  key:  %s\n  cert: %s\n",
-		*name, filepath.Join(*dir, "ca.json"), filepath.Join(*dir, "ca.cert"))
 }
 
-func runIssue(args []string) {
+func runIssue(args []string) func(ctx context.Context) error {
 	fs := flag.NewFlagSet("issue", flag.ExitOnError)
 	dir := fs.String("dir", "certs", "CA directory (from gridca init)")
 	subject := fs.String("subject", "", "credential subject, e.g. /O=NEES/CN=uiuc")
 	validity := fs.Duration("validity", 30*24*time.Hour, "credential validity")
 	out := fs.String("out", "", "output path (default <dir>/<CN>.cred)")
 	_ = fs.Parse(args)
-	if *subject == "" {
-		fatal("issue needs -subject")
-	}
-	ca, err := gsi.LoadAuthority(filepath.Join(*dir, "ca.json"))
-	if err != nil {
-		fatal("load CA: %v", err)
-	}
-	cred, err := ca.Issue(*subject, *validity)
-	if err != nil {
-		fatal("issue: %v", err)
-	}
-	path := *out
-	if path == "" {
-		cn := *subject
-		if i := strings.LastIndex(cn, "CN="); i >= 0 {
-			cn = cn[i+3:]
+
+	return func(context.Context) error {
+		if *subject == "" {
+			return fmt.Errorf("issue needs -subject")
 		}
-		cn = strings.ReplaceAll(cn, " ", "-")
-		path = filepath.Join(*dir, cn+".cred")
+		ca, err := gsi.LoadAuthority(filepath.Join(*dir, "ca.json"))
+		if err != nil {
+			return fmt.Errorf("load CA: %w", err)
+		}
+		cred, err := ca.Issue(*subject, *validity)
+		if err != nil {
+			return fmt.Errorf("issue: %w", err)
+		}
+		path := *out
+		if path == "" {
+			cn := *subject
+			if i := strings.LastIndex(cn, "CN="); i >= 0 {
+				cn = cn[i+3:]
+			}
+			cn = strings.ReplaceAll(cn, " ", "-")
+			path = filepath.Join(*dir, cn+".cred")
+		}
+		if err := gsi.SaveCredential(cred, path); err != nil {
+			return fmt.Errorf("save credential: %w", err)
+		}
+		fmt.Printf("issued %q -> %s\n", *subject, path)
+		return nil
 	}
-	if err := gsi.SaveCredential(cred, path); err != nil {
-		fatal("save credential: %v", err)
-	}
-	fmt.Printf("issued %q -> %s\n", *subject, path)
 }

@@ -13,6 +13,10 @@
 //	mostctl -experiment minimost                    # E7
 //	mostctl -experiment soil-structure              # E12
 //	mostctl metrics -url http://127.0.0.1:8080      # inspect a live container
+//
+// SIGINT/SIGTERM interrupt the stepping loop but still flush the response
+// history, run report, archive ingestion and the <run>-spans.jsonl span
+// snapshot before exiting 0; a run that dies on its own exits 2.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/most"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/telemetry"
 )
 
@@ -42,6 +47,10 @@ func main() {
 		traceCmd(os.Args[2:])
 		return
 	}
+	os.Exit(runExperiment())
+}
+
+func runExperiment() int {
 	experiment := flag.String("experiment", "dry-run",
 		"dry-run|public-run|minimost|minimost-hw|soil-structure")
 	variant := flag.String("variant", "simulation", "simulation|hybrid (MOST experiments)")
@@ -50,6 +59,8 @@ func main() {
 	out := flag.String("out", "out", "output directory")
 	archiveDir := flag.String("archive", "", "archive DAQ blocks to a repository under this directory")
 	spectrum := flag.Bool("spectrum", false, "also write the input motion's 5%-damped response spectrum")
+	var debugFlags runtime.DebugFlags
+	debugFlags.Register(nil)
 	flag.Parse()
 
 	var v most.Variant
@@ -59,7 +70,7 @@ func main() {
 	case "hybrid":
 		v = most.VariantHybrid
 	default:
-		fatal("unknown -variant %q", *variant)
+		return fatal("unknown -variant %q", *variant)
 	}
 
 	var spec most.Spec
@@ -75,7 +86,7 @@ func main() {
 	case "soil-structure":
 		spec = most.SoilStructureSpec()
 	default:
-		fatal("unknown -experiment %q", *experiment)
+		return fatal("unknown -experiment %q", *experiment)
 	}
 	if *steps > 0 {
 		spec.Steps = *steps
@@ -83,7 +94,7 @@ func main() {
 	spec.DAQEvery = *daqEvery
 	if *archiveDir != "" {
 		if spec.DAQEvery <= 0 {
-			fatal("-archive requires -daq-every > 0")
+			return fatal("-archive requires -daq-every > 0")
 		}
 		spec.Archive = &most.ArchiveConfig{
 			SpoolDir: filepath.Join(*archiveDir, "spool"),
@@ -104,54 +115,78 @@ func main() {
 
 	exp, err := most.Build(spec)
 	if err != nil {
-		fatal("build: %v", err)
-	}
-	defer exp.Stop()
-
-	start := time.Now()
-	res, err := exp.Run(context.Background())
-	if err != nil {
-		fatal("run: %v", err)
+		return fatal("build: %v", err)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal("output dir: %v", err)
-	}
-	prefix := filepath.Join(*out, *experiment)
-	if res.History != nil {
-		writeCSV(prefix+"-history.csv", func(f *os.File) error {
-			return res.History.WriteCSV(f)
-		})
-	}
-	writeHysteresis(exp, prefix)
-	writeReport(prefix+"-report.txt", *experiment, *variant, res, totalSteps)
-	if *spectrum {
-		writeSpectrum(prefix, spec)
+	// The built topology joins a process supervisor so SIGINT/SIGTERM
+	// drain it (and the -pprof debug server answers /healthz and /readyz
+	// for it). The experiment is adopted already-running; its own
+	// supervisor nests underneath.
+	sup := runtime.NewSupervisor("mostctl")
+	ds := debugFlags.Install(sup, exp.TraceRecorder)
+	sup.Adopt("experiment", runtime.Funcs{
+		StopFunc:    exp.Supervisor().Stop,
+		HealthyFunc: exp.Healthy,
+	}, runtime.WithDrain(exp.Supervisor().StopBudget()))
+	if ds != nil {
+		fmt.Printf("mostctl: pprof at http://%s/debug/pprof/, spans at /trace, probes at /healthz /readyz\n", ds.Addr())
 	}
 
-	fmt.Printf("mostctl: %d/%d steps in %s; recovered %d transient failures (%d injected, %d retries)\n",
-		res.Report.StepsCompleted, totalSteps, time.Since(start).Round(time.Millisecond),
-		res.Report.Recovered, res.InjectedFaults, res.Report.Retries)
-	printRunTelemetry(exp, res)
-	if res.History != nil {
-		fmt.Printf("mostctl: peak drift %.4g m, peak force %.4g N, hysteretic energy %.4g J\n",
-			res.History.PeakDisplacement(0), res.History.PeakForce(0),
-			res.History.HystereticEnergy(0))
-	}
-	if *archiveDir != "" {
-		if res.ArchiveErr != nil {
-			fmt.Printf("mostctl: archive error: %v\n", res.ArchiveErr)
-		} else {
-			fmt.Printf("mostctl: archived %d data blocks (+metadata) under %s\n",
-				exp.IngestedBlocks(), *archiveDir)
+	return runtime.Main("mostctl", sup, func(ctx context.Context) error {
+		start := time.Now()
+		// A signal cancels ctx; the in-flight step errors out, Run still
+		// drains the archive and writes <run>-spans.jsonl, and the output
+		// flush below runs — an interrupted run keeps its artifacts.
+		res, err := exp.Run(ctx)
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
 		}
-	}
-	if res.Err != nil {
-		fmt.Printf("mostctl: run terminated prematurely at step %d: %v\n",
-			res.Report.FailedStep, res.Err)
-		os.Exit(2)
-	}
-	fmt.Println("mostctl: run completed successfully")
+
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("output dir: %w", err)
+		}
+		prefix := filepath.Join(*out, *experiment)
+		if res.History != nil {
+			writeCSV(prefix+"-history.csv", func(f *os.File) error {
+				return res.History.WriteCSV(f)
+			})
+		}
+		writeHysteresis(exp, prefix)
+		writeReport(prefix+"-report.txt", *experiment, *variant, res, totalSteps)
+		if *spectrum {
+			writeSpectrum(prefix, spec)
+		}
+
+		fmt.Printf("mostctl: %d/%d steps in %s; recovered %d transient failures (%d injected, %d retries)\n",
+			res.Report.StepsCompleted, totalSteps, time.Since(start).Round(time.Millisecond),
+			res.Report.Recovered, res.InjectedFaults, res.Report.Retries)
+		printRunTelemetry(exp, res)
+		if res.History != nil {
+			fmt.Printf("mostctl: peak drift %.4g m, peak force %.4g N, hysteretic energy %.4g J\n",
+				res.History.PeakDisplacement(0), res.History.PeakForce(0),
+				res.History.HystereticEnergy(0))
+		}
+		if *archiveDir != "" {
+			if res.ArchiveErr != nil {
+				fmt.Printf("mostctl: archive error: %v\n", res.ArchiveErr)
+			} else {
+				fmt.Printf("mostctl: archived %d data blocks (+metadata) under %s\n",
+					exp.IngestedBlocks(), *archiveDir)
+			}
+		}
+		if res.Err != nil {
+			if ctx.Err() != nil {
+				// Signal-initiated: artifacts are flushed, exit clean.
+				fmt.Printf("mostctl: run interrupted at step %d, outputs flushed\n",
+					res.Report.FailedStep)
+				return nil
+			}
+			return runtime.Exitf(2, "run terminated prematurely at step %d: %v",
+				res.Report.FailedStep, res.Err)
+		}
+		fmt.Println("mostctl: run completed successfully")
+		return nil
+	})
 }
 
 func writeCSV(path string, write func(*os.File) error) {
@@ -300,20 +335,20 @@ func metricsCmd(args []string) {
 	raw := fs.Bool("json", false, "dump the raw JSON snapshot instead")
 	_ = fs.Parse(args)
 	if *url == "" {
-		fatal("metrics: -url required")
+		fatalExit("metrics: -url required")
 	}
 
 	resp, err := http.Get(*url + "/metrics")
 	if err != nil {
-		fatal("metrics: %v", err)
+		fatalExit("metrics: %v", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fatal("metrics: %s returned %s", *url, resp.Status)
+		fatalExit("metrics: %s returned %s", *url, resp.Status)
 	}
 	var snap telemetry.Snapshot
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
-		fatal("metrics: decode: %v", err)
+		fatalExit("metrics: decode: %v", err)
 	}
 	if *raw {
 		enc := json.NewEncoder(os.Stdout)
@@ -370,7 +405,14 @@ func seconds(v float64) string {
 	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
-func fatal(format string, args ...any) {
+// fatal prints a mostctl-prefixed error. In the experiment path it is
+// returned as the exit code; the subcommands exit through fatalExit.
+func fatal(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "mostctl: "+format+"\n", args...)
+	return 1
+}
+
+func fatalExit(format string, args ...any) {
+	fatal(format, args...)
 	os.Exit(1)
 }

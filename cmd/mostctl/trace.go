@@ -46,7 +46,7 @@ func traceCmd(args []string) {
 			spans = append(spans, fetchSpans(u, *id)...)
 		}
 	default:
-		fatal("trace: need -run or -url")
+		fatalExit("trace: need -run or -url")
 	}
 	if *id != "" {
 		kept := spans[:0]
@@ -58,7 +58,7 @@ func traceCmd(args []string) {
 		spans = kept
 	}
 	if len(spans) == 0 {
-		fatal("trace: no spans found")
+		fatalExit("trace: no spans found")
 	}
 	renderTraces(os.Stdout, spans, *limit)
 }
@@ -71,15 +71,15 @@ func fetchSpans(base, id string) []trace.SpanData {
 	}
 	resp, err := http.Get(u)
 	if err != nil {
-		fatal("trace: %v", err)
+		fatalExit("trace: %v", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fatal("trace: %s returned %s", u, resp.Status)
+		fatalExit("trace: %s returned %s", u, resp.Status)
 	}
 	var spans []trace.SpanData
 	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
-		fatal("trace: decode %s: %v", u, err)
+		fatalExit("trace: decode %s: %v", u, err)
 	}
 	return spans
 }
@@ -106,15 +106,15 @@ func runTraceSmoke(steps int, delay time.Duration) {
 	}
 	exp, err := most.Build(spec)
 	if err != nil {
-		fatal("trace: build: %v", err)
+		fatalExit("trace: build: %v", err)
 	}
 	defer exp.Stop()
 	res, err := exp.Run(context.Background())
 	if err != nil {
-		fatal("trace: run: %v", err)
+		fatalExit("trace: run: %v", err)
 	}
 	if res.Err != nil {
-		fatal("trace: run failed: %v", res.Err)
+		fatalExit("trace: run failed: %v", res.Err)
 	}
 	spans := exp.SpanSnapshot()
 	renderTraces(os.Stdout, spans, 0)

@@ -6,28 +6,34 @@
 // Example:
 //
 //	nsdsd -addr 127.0.0.1:7777 -demo
+//
+// SIGINT/SIGTERM drain the process: the demo feed stops, the listener
+// closes, subscriber connections are severed and waited on, then the hub
+// closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
-	"net/http"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"neesgrid/internal/nsds"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:7777", "listen address")
 	demo := flag.Bool("demo", false, "publish a synthetic demo signal")
 	demoRate := flag.Duration("demo-rate", 10*time.Millisecond, "demo sample interval")
 	retention := flag.Int("retention", 1000, "samples retained per channel for late joiners (0 = off)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
+	var debugFlags runtime.DebugFlags
+	debugFlags.Register(nil)
 	flag.Parse()
 
 	hub := nsds.NewHub()
@@ -35,53 +41,60 @@ func main() {
 	rec := trace.NewRecorder(0)
 	hub.UseTracer(trace.NewTracer("nsdsd", rec))
 	srv := nsds.NewServer(hub)
-	bound, err := srv.Start(*addr)
-	if err != nil {
-		fatal("start: %v", err)
-	}
-	fmt.Printf("nsdsd: streaming on %s\n", bound)
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
-				fmt.Fprintf(os.Stderr, "nsdsd: pprof: %v\n", err)
-			}
-		}()
-		fmt.Printf("nsdsd: pprof at http://%s/debug/pprof/\n", *pprofAddr)
-	}
 
-	stop := make(chan struct{})
+	sup := runtime.NewSupervisor("nsdsd")
+	ds := debugFlags.Install(sup, rec)
+	// Stop order (reverse of registration): demo feed first, then the
+	// server (listener + subscriber conns), then the hub.
+	sup.Add("hub", runtime.StopFunc(hub.Close))
+	sup.Add("server", runtime.Funcs{
+		StartFunc: func(context.Context) error {
+			bound, err := srv.Start(*addr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("nsdsd: streaming on %s\n", bound)
+			if ds != nil {
+				fmt.Printf("nsdsd: pprof at http://%s/debug/pprof/, probes at /healthz /readyz\n", ds.Addr())
+			}
+			return nil
+		},
+		StopFunc:    srv.Stop,
+		HealthyFunc: srv.Healthy,
+	})
 	if *demo {
-		go func() {
-			t := time.NewTicker(*demoRate)
-			defer t.Stop()
-			start := time.Now()
-			for {
-				select {
-				case now := <-t.C:
-					et := now.Sub(start).Seconds()
-					hub.Publish(nsds.Sample{Channel: "demo.disp", T: et,
-						Value: 0.01 * math.Sin(2*math.Pi*1.2*et)})
-					hub.Publish(nsds.Sample{Channel: "demo.force", T: et,
-						Value: 7.7e3 * math.Sin(2*math.Pi*1.2*et)})
-				case <-stop:
-					return
-				}
-			}
-		}()
-		fmt.Println("nsdsd: publishing demo.disp and demo.force")
+		stop := make(chan struct{})
+		sup.Add("demo-feed", runtime.Funcs{
+			StartFunc: func(context.Context) error {
+				go func() {
+					t := time.NewTicker(*demoRate)
+					defer t.Stop()
+					start := time.Now()
+					for {
+						select {
+						case now := <-t.C:
+							et := now.Sub(start).Seconds()
+							hub.Publish(nsds.Sample{Channel: "demo.disp", T: et,
+								Value: 0.01 * math.Sin(2*math.Pi*1.2*et)})
+							hub.Publish(nsds.Sample{Channel: "demo.force", T: et,
+								Value: 7.7e3 * math.Sin(2*math.Pi*1.2*et)})
+						case <-stop:
+							return
+						}
+					}
+				}()
+				fmt.Println("nsdsd: publishing demo.disp and demo.force")
+				return nil
+			},
+			StopFunc: func(context.Context) error {
+				close(stop)
+				return nil
+			},
+		})
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	close(stop)
+	code := runtime.Main("nsdsd", sup, nil)
 	published, dropped := hub.Stats()
-	fmt.Printf("nsdsd: shutting down (published %d, dropped %d)\n", published, dropped)
-	_ = srv.Close()
-	hub.Close()
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "nsdsd: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Printf("nsdsd: shut down (published %d, dropped %d)\n", published, dropped)
+	return code
 }

@@ -9,76 +9,69 @@
 //	      -allow "/O=NEES/CN=coordinator=coord" \
 //	      -point left-column -kind shore-western \
 //	      -k 7.7e5 -fy 25e3 -hardening 0.05 -max-disp 0.15
+//
+// SIGINT/SIGTERM drain the process: /readyz flips not-ready, in-flight
+// NTCP executions get their deadline to finish (new proposals are
+// refused with a retryable code), then the container closes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
-	"os/signal"
-	"strings"
 	"sync"
-	"syscall"
 	"time"
 
 	"neesgrid/internal/control"
 	"neesgrid/internal/core"
-	"neesgrid/internal/gsi"
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/plugin"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
 	"neesgrid/internal/trace"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:4455", "listen address")
-	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
-	credPath := flag.String("cred", "", "site credential (from gridca issue)")
-	allow := flag.String("allow", "", "comma-separated identity=account gridmap entries")
 	point := flag.String("point", "drift", "control point name")
 	kind := flag.String("kind", "simulation", "backend: simulation|shore-western|xpc|kinetic")
 	k := flag.Float64("k", 7.7e5, "substructure elastic stiffness N/m")
 	fy := flag.Float64("fy", 0, "yield force N (0 = linear)")
 	hardening := flag.Float64("hardening", 0.05, "post-yield stiffness ratio")
 	maxDisp := flag.Float64("max-disp", 0, "site policy displacement limit m (0 = none)")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and /trace on this address (off when empty)")
+	var gsiFlags runtime.GSIFlags
+	var debugFlags runtime.DebugFlags
+	gsiFlags.Register(nil)
+	debugFlags.Register(nil)
 	flag.Parse()
 
-	if *credPath == "" {
-		fatal("need -cred (issue one with gridca)")
-	}
-	cert, err := gsi.LoadCertificate(*caCert)
+	id, err := gsiFlags.Load()
 	if err != nil {
-		fatal("load CA cert: %v", err)
-	}
-	cred, err := gsi.LoadCredential(*credPath)
-	if err != nil {
-		fatal("load credential: %v", err)
-	}
-	gm := gsi.NewGridmap(nil)
-	for _, entry := range strings.Split(*allow, ",") {
-		if entry == "" {
-			continue
-		}
-		// Identities contain "=" (e.g. /O=NEES/CN=coordinator); the
-		// account is everything after the last "=".
-		cut := strings.LastIndex(entry, "=")
-		if cut < 0 {
-			fatal("bad -allow entry %q (want identity=account)", entry)
-		}
-		id, acct := entry[:cut], entry[cut+1:]
-		if id == "" || acct == "" {
-			fatal("bad -allow entry %q (want identity=account)", entry)
-		}
-		gm.Map(id, acct)
+		return fatal("%v", err)
 	}
 
-	plug, err := buildPlugin(*kind, *point, *k, *fy, *hardening)
+	reg := telemetry.NewRegistry()
+	rec := trace.NewRecorder(0)
+	// The trace service name is the credential's CN — the site name in the
+	// merged timeline.
+	tracer := trace.NewTracer(id.ServiceName(), rec)
+
+	sup := runtime.NewSupervisor("ntcpd")
+	ds := debugFlags.Install(sup, rec)
+
+	// Backend rig pieces start inline (they must exist before the server)
+	// and are adopted into the stop order; the container and NTCP server
+	// are supervisor-started. Registration order matters: the server
+	// registers after the container so it drains first — a mid-step
+	// coordinator sees the retryable drain code over a still-open listener,
+	// not a connection reset.
+	plug, err := buildPlugin(sup, *kind, *point, *k, *fy, *hardening)
 	if err != nil {
-		fatal("%v", err)
+		return fatal("%v", err)
 	}
 	var policy *core.SitePolicy
 	if *maxDisp > 0 {
@@ -86,47 +79,37 @@ func main() {
 			*point: {MaxDisplacement: *maxDisp},
 		}}
 	}
-	reg := telemetry.NewRegistry()
-	// The trace service name is the credential's CN — the site name in the
-	// merged timeline.
-	svc := cred.Identity()
-	if i := strings.LastIndex(svc, "CN="); i >= 0 {
-		svc = svc[i+len("CN="):]
-	}
-	rec := trace.NewRecorder(0)
-	tracer := trace.NewTracer(svc, rec)
 	server := core.NewServer(plug, policy, core.ServerOptions{Telemetry: reg, Tracer: tracer})
-	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
+	cont := ogsi.NewContainer(id.Cred, id.Trust, id.Gridmap)
 	cont.UseTelemetry(reg)
 	cont.UseTracer(tracer)
 	cont.AddService(server.Service())
-	bound, err := cont.Start(*addr)
-	if err != nil {
-		fatal("start: %v", err)
-	}
-	fmt.Printf("ntcpd: site %s serving %q (%s, k=%g) on %s\n",
-		cred.Identity(), *point, *kind, *k, bound)
-	fmt.Printf("ntcpd: metrics at http://%s/metrics, spans at http://%s/trace\n",
-		bound, bound)
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, trace.DebugMux(rec)); err != nil {
-				fmt.Fprintf(os.Stderr, "ntcpd: pprof: %v\n", err)
+	sup.Add("container", runtime.Funcs{
+		StartFunc: func(context.Context) error {
+			bound, err := cont.Start(*addr)
+			if err != nil {
+				return err
 			}
-		}()
-		fmt.Printf("ntcpd: pprof at http://%s/debug/pprof/\n", *pprofAddr)
-	}
+			fmt.Printf("ntcpd: site %s serving %q (%s, k=%g) on %s\n",
+				id.Cred.Identity(), *point, *kind, *k, bound)
+			fmt.Printf("ntcpd: metrics at http://%s/metrics, spans at http://%s/trace\n",
+				bound, bound)
+			if ds != nil {
+				fmt.Printf("ntcpd: pprof at http://%s/debug/pprof/, probes at /healthz /readyz\n", ds.Addr())
+			}
+			return nil
+		},
+		StopFunc:    cont.Stop,
+		HealthyFunc: cont.Healthy,
+	}, runtime.WithDrain(time.Second))
+	sup.Add("ntcp-server", server)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("ntcpd: shutting down")
-	stopCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_ = cont.Stop(stopCtx)
+	return runtime.Main("ntcpd", sup, nil)
 }
 
-func buildPlugin(kind, point string, k, fy, hardening float64) (core.Plugin, error) {
+// buildPlugin constructs the control backend, adopting any inline-started
+// rig pieces (controller servers, xPC targets) into sup's stop order.
+func buildPlugin(sup *runtime.Supervisor, kind, point string, k, fy, hardening float64) (core.Plugin, error) {
 	switch kind {
 	case "simulation":
 		var elem structural.Element
@@ -149,11 +132,15 @@ func buildPlugin(kind, point string, k, fy, hardening float64) (core.Plugin, err
 		if err != nil {
 			return nil, fmt.Errorf("start shore-western controller: %w", err)
 		}
-		return &plugin.ShoreWesternPlugin{Point: point, Client: control.NewShoreWesternClient(swAddr)}, nil
+		sup.Adopt("shore-western-server", runtime.StopErrFunc(srv.Close))
+		cl := control.NewShoreWesternClient(swAddr)
+		sup.Adopt("shore-western-client", runtime.StopErrFunc(cl.Close))
+		return &plugin.ShoreWesternPlugin{Point: point, Client: cl}, nil
 	case "xpc":
 		rig := control.NewColumnRig(point+"-rig", control.DefaultActuator(), k, fy, hardening)
 		target := control.NewXPCTarget(rig)
 		target.Start(time.Millisecond)
+		sup.Adopt("xpc-target", runtime.StopFunc(target.Stop))
 		return &plugin.XPCPlugin{Point: point, Target: target, SettleTimeout: 10 * time.Second}, nil
 	case "kinetic":
 		sim := control.NewFirstOrderKinetic(point+"-kinetic", k, 0.02, 1.0)
@@ -169,7 +156,7 @@ func buildPlugin(kind, point string, k, fy, hardening float64) (core.Plugin, err
 	}
 }
 
-func fatal(format string, args ...any) {
+func fatal(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "ntcpd: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

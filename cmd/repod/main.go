@@ -9,6 +9,9 @@
 //	      -root /srv/nees-data \
 //	      -ca-cert certs/ca.cert -cred certs/repo.cred \
 //	      -allow "/O=NEES/CN=uiuc=uiuc,/O=NEES/CN=coordinator=coord"
+//
+// SIGINT/SIGTERM drain the process in reverse start order: bridge, then
+// container, then the transfer server, each under its own deadline.
 package main
 
 import (
@@ -17,110 +20,97 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
-	"time"
 
 	"neesgrid/internal/gridftp"
-	"neesgrid/internal/gsi"
 	"neesgrid/internal/nfms"
 	"neesgrid/internal/nmds"
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/repo"
+	"neesgrid/internal/runtime"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	addr := flag.String("addr", "127.0.0.1:8445", "OGSI container address (NMDS + NFMS)")
 	gridftpAddr := flag.String("gridftp", "127.0.0.1:2811", "GridFTP-style transfer address")
 	bridgeAddr := flag.String("bridge", "", "HTTPS-bridge address (empty = disabled)")
 	root := flag.String("root", "data", "file store root directory")
-	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
-	credPath := flag.String("cred", "", "repository credential")
-	allow := flag.String("allow", "", "comma-separated identity=account gridmap entries")
+	var gsiFlags runtime.GSIFlags
+	var debugFlags runtime.DebugFlags
+	gsiFlags.Register(nil)
+	debugFlags.Register(nil)
 	flag.Parse()
-	if *credPath == "" {
-		fatal("need -cred")
-	}
 
-	cert, err := gsi.LoadCertificate(*caCert)
+	id, err := gsiFlags.Load()
 	if err != nil {
-		fatal("load CA cert: %v", err)
+		return fatal("%v", err)
 	}
-	cred, err := gsi.LoadCredential(*credPath)
+	r, err := repo.New(id.Cred.Identity())
 	if err != nil {
-		fatal("load credential: %v", err)
+		return fatal("repository: %v", err)
 	}
-	gm := gsi.NewGridmap(nil)
-	for _, entry := range strings.Split(*allow, ",") {
-		if entry == "" {
-			continue
-		}
-		// Identities contain "=" (e.g. /O=NEES/CN=coordinator); the
-		// account is everything after the last "=".
-		cut := strings.LastIndex(entry, "=")
-		if cut < 0 {
-			fatal("bad -allow entry %q (want identity=account)", entry)
-		}
-		id, acct := entry[:cut], entry[cut+1:]
-		if id == "" || acct == "" {
-			fatal("bad -allow entry %q", entry)
-		}
-		gm.Map(id, acct)
-	}
-
-	r, err := repo.New(cred.Identity())
-	if err != nil {
-		fatal("repository: %v", err)
-	}
-
 	ftp, err := gridftp.NewServer(*root)
 	if err != nil {
-		fatal("gridftp: %v", err)
+		return fatal("gridftp: %v", err)
 	}
-	ftpBound, err := ftp.Start(*gridftpAddr)
-	if err != nil {
-		fatal("gridftp start: %v", err)
-	}
-	fmt.Printf("repod: gridftp serving %s on %s\n", *root, ftpBound)
 
-	cont := ogsi.NewContainer(cred, gsi.NewTrustStore(cert), gm)
+	sup := runtime.NewSupervisor("repod")
+	ds := debugFlags.Install(sup, nil)
+
+	sup.Add("gridftp", runtime.Funcs{
+		StartFunc: func(context.Context) error {
+			bound, err := ftp.Start(*gridftpAddr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("repod: gridftp serving %s on %s\n", *root, bound)
+			return nil
+		},
+		StopFunc: func(context.Context) error { return ftp.Close() },
+	})
+
+	cont := ogsi.NewContainer(id.Cred, id.Trust, id.Gridmap)
 	cont.AddService(nmds.NewService(r.Meta))
 	cont.AddService(nfms.NewService(r.Files))
-	bound, err := cont.Start(*addr)
-	if err != nil {
-		fatal("container start: %v", err)
-	}
-	fmt.Printf("repod: NMDS + NFMS on %s (identity %s)\n", bound, cred.Identity())
+	sup.Add("container", runtime.Funcs{
+		StartFunc: func(context.Context) error {
+			bound, err := cont.Start(*addr)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("repod: NMDS + NFMS on %s (identity %s)\n", bound, id.Cred.Identity())
+			if ds != nil {
+				fmt.Printf("repod: probes at http://%s/healthz /readyz\n", ds.Addr())
+			}
+			return nil
+		},
+		StopFunc:    cont.Stop,
+		HealthyFunc: cont.Healthy,
+	})
 
-	var bridgeServer *http.Server
 	if *bridgeAddr != "" {
 		bridge := &repo.Bridge{Repo: r}
 		mux := http.NewServeMux()
 		mux.Handle("/files/", bridge)
-		bridgeServer = &http.Server{Addr: *bridgeAddr, Handler: mux}
-		go func() {
-			if err := bridgeServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "repod: bridge: %v\n", err)
-			}
-		}()
-		fmt.Printf("repod: https bridge on %s\n", *bridgeAddr)
+		bs := runtime.NewDebugServer(*bridgeAddr, mux)
+		sup.Add("https-bridge", runtime.Funcs{
+			StartFunc: func(ctx context.Context) error {
+				if err := bs.Start(ctx); err != nil {
+					return err
+				}
+				fmt.Printf("repod: https bridge on %s\n", bs.Addr())
+				return nil
+			},
+			StopFunc:    bs.Stop,
+			HealthyFunc: bs.Healthy,
+		})
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("repod: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_ = cont.Stop(ctx)
-	_ = ftp.Close()
-	if bridgeServer != nil {
-		_ = bridgeServer.Shutdown(ctx)
-	}
+	return runtime.Main("repod", sup, nil)
 }
 
-func fatal(format string, args ...any) {
+func fatal(format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "repod: "+format+"\n", args...)
-	os.Exit(1)
+	return 1
 }

@@ -23,4 +23,11 @@ echo "== trace round-trip smoke =="
 # spans for each site (and the injected WAN delay is attributed).
 go run ./cmd/mostctl trace -run -steps 5 > /dev/null
 
+echo "== shutdown smoke (graceful drain) =="
+# Boots a two-site topology as real processes, polls /readyz until ready,
+# SIGTERMs every process mid-step, and asserts /readyz flips to 503 before
+# the listeners close, every process exits 0 with its outputs flushed, and
+# an in-process experiment leaves no goroutines behind after Stop.
+go test -race -count=1 -run 'TestGracefulShutdown|TestNoGoroutineLeakAfterExperimentStop' ./internal/e2e/
+
 echo "ci: all gates passed"

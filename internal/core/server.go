@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -74,10 +75,20 @@ type Server struct {
 	tracer     *trace.Tracer
 	pluginName string
 
-	mu      sync.Mutex
-	txs     map[string]*transaction
-	lastPos map[string][]float64
-	stats   Stats
+	// execCtx is the base context of every detached execution; Stop's
+	// deadline path cancels it to reclaim executions that outlive the
+	// drain budget.
+	execCtx    context.Context
+	execCancel context.CancelFunc
+
+	mu       sync.Mutex
+	txs      map[string]*transaction
+	lastPos  map[string][]float64
+	stats    Stats
+	draining bool
+	stopped  bool
+	inflight int           // executions currently running
+	idle     chan struct{} // non-nil while Stop waits for inflight to hit 0
 }
 
 type transaction struct {
@@ -100,6 +111,7 @@ func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
 		txs:        make(map[string]*transaction),
 		lastPos:    make(map[string][]float64),
 	}
+	s.execCtx, s.execCancel = context.WithCancel(context.Background())
 	s.svc = ogsi.NewService(opts.ServiceName)
 	s.svc.SDEs.SetClock(opts.Clock)
 	s.svc.Lifetimes.SetClock(opts.Clock)
@@ -166,6 +178,15 @@ func (s *Server) Propose(ctx context.Context, client string, p *Proposal) (*Reco
 		s.mu.Unlock()
 		s.tel.Counter(cDeduped).Inc()
 		return rec, nil
+	}
+	if s.draining {
+		// Graceful drain: new work is refused with the retryable code, so
+		// a coordinator mid-step backs off and retries against the
+		// restarted (or failed-over) site instead of treating the shutdown
+		// as a terminal fault — the opposite of the connection reset that
+		// ended the public MOST run.
+		s.mu.Unlock()
+		return nil, ogsi.Errf(ogsi.CodeUnavailable, "server draining, not accepting new transactions")
 	}
 	now := s.opts.Clock()
 	rec := &Record{
@@ -332,6 +353,7 @@ func (s *Server) Execute(ctx context.Context, client, name string) (*Record, err
 			if rec.Timeout > 0 {
 				timeout = time.Duration(rec.Timeout * float64(time.Second))
 			}
+			s.inflight++
 			pub := rec.clone()
 			s.mu.Unlock()
 			// Publish the executing snapshot before the execution goroutine
@@ -365,7 +387,12 @@ func (s *Server) Execute(ctx context.Context, client, name string) (*Record, err
 
 func (s *Server) runExecution(name string, actions []Action, timeout time.Duration, done chan struct{}, parent trace.SpanContext) {
 	defer close(done)
-	execCtx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer s.execDone()
+	// Derived from the server's base context (not the request's): the
+	// at-most-once contract means an action outlives its connection, but
+	// not the server's drain deadline — Stop cancels execCtx when the
+	// drain budget runs out.
+	execCtx, cancel := context.WithTimeout(s.execCtx, timeout)
 	defer cancel()
 	start := time.Now()
 	results, err := s.plugin.Execute(execCtx, actions)
@@ -522,6 +549,117 @@ func (s *Server) registerOps() {
 			return nil, ogsi.Errf(ogsi.CodeBadRequest, "bad get params: %v", err)
 		}
 		return s.Get(p.Name)
+	})
+}
+
+// execDone retires one in-flight execution and wakes a waiting Stop when
+// the last one finishes.
+func (s *Server) execDone() {
+	s.mu.Lock()
+	s.inflight--
+	if s.inflight == 0 && s.idle != nil {
+		close(s.idle)
+		s.idle = nil
+	}
+	s.mu.Unlock()
+}
+
+// Start satisfies the runtime component contract. The server itself has
+// nothing to bring up — it serves through its hosting container — but the
+// explicit lifecycle lets a supervisor order it between the container and
+// the control backend.
+func (s *Server) Start(context.Context) error { return nil }
+
+// Healthy reports nil while the server accepts new transactions.
+func (s *Server) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("ntcp server %q stopped", s.opts.ServiceName)
+	}
+	if s.draining {
+		return fmt.Errorf("ntcp server %q draining (%d executions in flight)",
+			s.opts.ServiceName, s.inflight)
+	}
+	return nil
+}
+
+// drainCancelGrace bounds how long Stop waits, after cancelling the base
+// execution context, for overdue executions to observe the cancellation
+// and journal their failure records.
+const drainCancelGrace = 2 * time.Second
+
+// Stop drains the server: from this moment new Propose calls are refused
+// with the retryable CodeUnavailable (replays of known transactions are
+// still answered from the table), in-flight executions get until ctx's
+// deadline to finish, and any that overrun are cancelled through the
+// plugin context and journalled — their names land in a "drain-cancelled"
+// telemetry event and their records finish StateFailed, so a post-mortem
+// can tell exactly which actuator moves were cut short. Stop must run
+// while the hosting container is still serving, so clients see the NTCP
+// fault code rather than a connection reset; a supervisor gets this
+// ordering for free by registering the server after the container.
+func (s *Server) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	n := s.inflight
+	var idle chan struct{}
+	if n > 0 {
+		if s.idle == nil {
+			s.idle = make(chan struct{})
+		}
+		idle = s.idle
+	}
+	s.mu.Unlock()
+
+	s.tel.Event("ntcp", "drain-begin", map[string]any{"inflight": n})
+	if n == 0 {
+		s.finishStop(nil)
+		return nil
+	}
+	select {
+	case <-idle:
+		s.finishStop(nil)
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Drain deadline exceeded: cancel the survivors and journal them.
+	s.mu.Lock()
+	var survivors []string
+	for name, tx := range s.txs {
+		if tx.rec.State == StateExecuting {
+			survivors = append(survivors, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(survivors)
+	s.tel.Event("ntcp", "drain-cancelled", map[string]any{
+		"transactions": survivors,
+	})
+	s.execCancel()
+	select {
+	case <-idle:
+		s.finishStop(survivors)
+		return nil
+	case <-time.After(drainCancelGrace):
+		s.finishStop(survivors)
+		return fmt.Errorf("ntcp server %q: %d executions ignored drain cancellation",
+			s.opts.ServiceName, len(survivors))
+	}
+}
+
+// finishStop marks the server stopped and journals the drain outcome.
+func (s *Server) finishStop(cancelled []string) {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.tel.Event("ntcp", "drain-complete", map[string]any{
+		"cancelled": len(cancelled),
 	})
 }
 

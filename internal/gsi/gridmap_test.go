@@ -1,0 +1,66 @@
+package gsi
+
+import (
+	"strings"
+	"testing"
+)
+
+// ParseGridmap backs every daemon's -allow flag. Identities themselves
+// contain "=" ("/O=NEES/CN=uiuc"), so the account is everything after the
+// LAST "=" — these cases pin that down.
+func TestParseGridmap(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		want    map[string]string // identity -> account
+		wantErr string
+	}{
+		{name: "empty string is an empty gridmap", in: "", want: map[string]string{}},
+		{name: "single entry", in: "/O=NEES/CN=uiuc=uiuc",
+			want: map[string]string{"/O=NEES/CN=uiuc": "uiuc"}},
+		{name: "multiple entries", in: "/O=NEES/CN=uiuc=uiuc,/O=NEES/CN=coordinator=coord",
+			want: map[string]string{
+				"/O=NEES/CN=uiuc":        "uiuc",
+				"/O=NEES/CN=coordinator": "coord",
+			}},
+		{name: "CN value containing equals splits at the last one",
+			in:   "/O=NEES/CN=x=acct",
+			want: map[string]string{"/O=NEES/CN=x": "acct"}},
+		{name: "surrounding whitespace is trimmed",
+			in:   " /O=NEES/CN=uiuc=uiuc , /O=NEES/CN=cu=cu ",
+			want: map[string]string{"/O=NEES/CN=uiuc": "uiuc", "/O=NEES/CN=cu": "cu"}},
+		{name: "trailing comma is tolerated", in: "/O=NEES/CN=uiuc=uiuc,",
+			want: map[string]string{"/O=NEES/CN=uiuc": "uiuc"}},
+		{name: "entry without equals", in: "garbage", wantErr: "bad gridmap entry"},
+		{name: "empty account", in: "/O=NEES/CN=uiuc=", wantErr: "bad gridmap entry"},
+		{name: "empty identity", in: "=acct", wantErr: "bad gridmap entry"},
+		{name: "good entry then bad entry fails",
+			in: "/O=NEES/CN=uiuc=uiuc,=x", wantErr: "bad gridmap entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gm, err := ParseGridmap(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseGridmap(%q) err = %v, want %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseGridmap(%q): %v", tc.in, err)
+			}
+			for id, acct := range tc.want {
+				got, err := gm.Authorize(id)
+				if err != nil {
+					t.Fatalf("Authorize(%q): %v", id, err)
+				}
+				if got != acct {
+					t.Fatalf("Authorize(%q) = %q, want %q", id, got, acct)
+				}
+			}
+			if _, err := gm.Authorize("/O=NEES/CN=not-there"); err == nil {
+				t.Fatal("unknown identity should not authorize")
+			}
+		})
+	}
+}

@@ -478,3 +478,34 @@ func (g *Gridmap) Authorize(identity string) (string, error) {
 	}
 	return acct, nil
 }
+
+// ParseGridmap parses the comma-separated identity=account entries the
+// daemons accept on -allow, e.g.
+//
+//	/O=NEES/CN=coordinator=coord,/O=NEES/CN=uiuc=uiuc
+//
+// Grid identities themselves contain "=" (every RDN does), so the local
+// account is everything after the LAST "=" — "/O=NEES/CN=x=acct" maps
+// identity "/O=NEES/CN=x" to account "acct". Empty entries are skipped
+// (a trailing comma is harmless); an entry with no "=", or with an empty
+// identity or account, is an error. An empty input yields an empty (deny
+// everything) gridmap.
+func ParseGridmap(entries string) (*Gridmap, error) {
+	g := NewGridmap(nil)
+	for _, entry := range strings.Split(entries, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		cut := strings.LastIndex(entry, "=")
+		if cut < 0 {
+			return nil, fmt.Errorf("gsi: bad gridmap entry %q (want identity=account)", entry)
+		}
+		id, acct := entry[:cut], entry[cut+1:]
+		if id == "" || acct == "" {
+			return nil, fmt.Errorf("gsi: bad gridmap entry %q (want identity=account)", entry)
+		}
+		g.Map(id, acct)
+	}
+	return g, nil
+}

@@ -10,6 +10,7 @@ import (
 	"neesgrid/internal/core"
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
 	"neesgrid/internal/trace"
@@ -98,8 +99,16 @@ type Experiment struct {
 	Tracer        *trace.Tracer
 	TraceRecorder *trace.Recorder
 
-	arch      *archive
-	stopFeeds []func()
+	arch *archive
+	// sup supervises the topology: each site's component tree nests under
+	// it, along with the viewer feeds and the archive connection, so one
+	// Stop drains everything in reverse build order with deadlines and
+	// error reporting.
+	sup *runtime.Supervisor
+	// stopFeeds holds the viewer-feed components so Run can drain the
+	// monitoring pipeline at end-of-run; each is once-wrapped, so the
+	// supervisor's later Stop is a no-op for already-drained feeds.
+	stopFeeds []runtime.Component
 }
 
 // Build starts every site and wires monitoring.
@@ -118,7 +127,8 @@ func Build(spec Spec) (*Experiment, error) {
 	}
 	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: coordCred,
 		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry(),
-		TraceRecorder: trace.NewRecorder(0)}
+		TraceRecorder: trace.NewRecorder(0),
+		sup:           runtime.NewSupervisor("experiment:" + spec.Name)}
 	exp.Tracer = trace.NewTracer("coordinator", exp.TraceRecorder)
 	for _, ss := range spec.Sites {
 		site, err := startSite(ca, trust, coordCred.Identity(), ss)
@@ -128,6 +138,10 @@ func Build(spec Spec) (*Experiment, error) {
 		}
 		site.Injector.UseTelemetry(exp.Telemetry)
 		exp.Sites = append(exp.Sites, site)
+		exp.sup.Adopt("site:"+ss.Name, runtime.Funcs{
+			StopFunc:    func(ctx context.Context) error { return site.sup.Stop(ctx) },
+			HealthyFunc: site.Healthy,
+		}, runtime.WithDrain(site.sup.StopBudget()))
 		sub, err := site.Hub.Subscribe(4096)
 		if err != nil {
 			exp.Stop()
@@ -138,19 +152,35 @@ func Build(spec Spec) (*Experiment, error) {
 			exp.Viewer.FeedFrom(sub.C())
 			close(done)
 		}()
-		exp.stopFeeds = append(exp.stopFeeds, func() {
+		feed := runtime.StopFunc(func() {
 			sub.Cancel()
 			<-done
 		})
+		exp.stopFeeds = append(exp.stopFeeds, feed)
+		exp.sup.Adopt("feed:"+ss.Name, feed)
 	}
 	if spec.Archive != nil {
 		if err := exp.setupArchive(spec.Archive); err != nil {
 			exp.Stop()
 			return nil, fmt.Errorf("most: archive: %w", err)
 		}
+		exp.sup.Adopt("archive-ftp", runtime.StopErrFunc(exp.arch.ftp.Close))
+	}
+	// Everything above adopted already-running pieces; Start just flips the
+	// supervisor ready so /readyz-style probes and Healthy report sanely.
+	if err := exp.sup.Start(context.Background()); err != nil {
+		exp.Stop()
+		return nil, err
 	}
 	return exp, nil
 }
+
+// Supervisor exposes the experiment's component tree (for probe handlers
+// and shutdown smokes).
+func (e *Experiment) Supervisor() *runtime.Supervisor { return e.sup }
+
+// Healthy aggregates component health across every site.
+func (e *Experiment) Healthy() error { return e.sup.Healthy() }
 
 // SpanSnapshot gathers every span recorded across the topology so far:
 // coordinator-side first, then each site in declaration order. Spans from
@@ -174,18 +204,14 @@ func (e *Experiment) Site(name string) (*Site, bool) {
 	return nil, false
 }
 
-// Stop tears the topology down.
-func (e *Experiment) Stop() {
-	for _, stop := range e.stopFeeds {
-		stop()
-	}
-	e.stopFeeds = nil
-	for _, s := range e.Sites {
-		s.Stop()
-	}
-	if e.arch != nil {
-		_ = e.arch.ftp.Close()
-	}
+// Stop tears the topology down: feeds, sites (each draining its own
+// component tree), and the archive connection, in reverse build order
+// under the supervisor's stop budget. Per-component failures are joined
+// into the returned error instead of being swallowed.
+func (e *Experiment) Stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), e.sup.StopBudget())
+	defer cancel()
+	return e.sup.Stop(ctx)
 }
 
 // Run executes the experiment.
@@ -295,10 +321,10 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 		results.ArchiveErr = err
 	}
 	// Monitoring ends with the run: drain the viewer feeds so every
-	// published sample is visible to post-run analysis.
+	// published sample is visible to post-run analysis. The feeds are
+	// once-wrapped, so the supervisor's Stop skips them later.
 	for _, stop := range e.stopFeeds {
-		stop()
+		_ = stop.Stop(context.Background())
 	}
-	e.stopFeeds = nil
 	return results, nil
 }

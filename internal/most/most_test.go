@@ -16,7 +16,11 @@ func runSpec(t *testing.T, spec Spec) (*Experiment, *Results) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(exp.Stop)
+	t.Cleanup(func() {
+		if err := exp.Stop(); err != nil {
+			t.Errorf("experiment stop: %v", err)
+		}
+	})
 	res, err := exp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,7 @@ import (
 	"neesgrid/internal/nsds"
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/plugin"
+	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
 	"neesgrid/internal/telepresence"
@@ -115,8 +116,11 @@ type Site struct {
 	SpanRecorder *trace.Recorder
 
 	container *ogsi.Container
-	cleanup   []func()
-	resets    []func() error
+	// sup supervises the site's components — rig daemons, container, NTCP
+	// server, hub — so teardown is ordered (reverse of start), deadline-
+	// bounded, and error-reporting instead of an ad-hoc cleanup slice.
+	sup    *runtime.Supervisor
+	resets []func() error
 
 	mu        sync.Mutex
 	lastDisp  float64
@@ -176,13 +180,22 @@ func (s *Site) Reset() error {
 	return nil
 }
 
-// Stop tears the site down.
-func (s *Site) Stop() {
-	for i := len(s.cleanup) - 1; i >= 0; i-- {
-		s.cleanup[i]()
-	}
-	s.cleanup = nil
+// Stop tears the site down: components drain in reverse start order
+// (hub, then NTCP server drain, then container, then the control
+// backend), each under its own deadline. The joined per-component errors
+// are returned instead of being swallowed.
+func (s *Site) Stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.sup.StopBudget())
+	defer cancel()
+	return s.sup.Stop(ctx)
 }
+
+// Supervisor exposes the site's component tree so an experiment (or an
+// e2e test) can nest it under its own supervisor.
+func (s *Site) Supervisor() *runtime.Supervisor { return s.sup }
+
+// Healthy aggregates the site's component health.
+func (s *Site) Healthy() error { return s.sup.Healthy() }
 
 // buildBackend constructs the plugin (and any rig/daemon) for a spec.
 func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
@@ -229,7 +242,7 @@ func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
 				return []float64{elem.Restore(d[0])}, nil
 			})
 		}()
-		site.cleanup = append(site.cleanup, cancel)
+		site.sup.Adopt("mplugin-backend", runtime.StopFunc(cancel))
 		site.resets = append(site.resets, func() error {
 			mu.Lock()
 			defer mu.Unlock()
@@ -251,9 +264,9 @@ func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
 		if err != nil {
 			return nil, err
 		}
-		site.cleanup = append(site.cleanup, func() { _ = srv.Close() })
+		site.sup.Adopt("shore-western-server", runtime.StopErrFunc(srv.Close))
 		cl := control.NewShoreWesternClient(addr)
-		site.cleanup = append(site.cleanup, func() { _ = cl.Close() })
+		site.sup.Adopt("shore-western-client", runtime.StopErrFunc(cl.Close))
 		site.resets = append(site.resets, rig.Reset)
 		return &plugin.ShoreWesternPlugin{Point: point, Client: cl}, nil
 
@@ -267,7 +280,7 @@ func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
 		site.Rig = rig
 		target := control.NewXPCTarget(rig)
 		target.Start(time.Millisecond)
-		site.cleanup = append(site.cleanup, target.Stop)
+		site.sup.Adopt("xpc-target", runtime.StopFunc(target.Stop))
 		site.resets = append(site.resets, rig.Reset)
 		return &plugin.XPCPlugin{Point: point, Target: target, SettleTimeout: 10 * time.Second}, nil
 
@@ -278,9 +291,9 @@ func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
 		if err != nil {
 			return nil, err
 		}
-		site.cleanup = append(site.cleanup, func() { _ = daemon.Close() })
+		site.sup.Adopt("labview-daemon", runtime.StopErrFunc(daemon.Close))
 		p := &plugin.LabViewPlugin{Point: point, Addr: addr}
-		site.cleanup = append(site.cleanup, func() { _ = p.Close() })
+		site.sup.Adopt("labview-plugin", runtime.StopErrFunc(p.Close))
 		site.resets = append(site.resets, stepper.Reset)
 		return p, nil
 
@@ -320,6 +333,7 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 		Hub:          nsds.NewHub(),
 		Telemetry:    telemetry.NewRegistry(),
 		SpanRecorder: trace.NewRecorder(0),
+		sup:          runtime.NewSupervisor("site:" + spec.Name),
 	}
 	site.Tracer = trace.NewTracer(spec.Name, site.SpanRecorder)
 	site.Hub.UseTracer(site.Tracer)
@@ -342,15 +356,18 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	cont.AddService(server.Service())
 	addr, err := cont.Start("127.0.0.1:0")
 	if err != nil {
-		site.Stop()
+		_ = site.Stop()
 		return nil, fmt.Errorf("most: site %s container: %w", spec.Name, err)
 	}
 	site.container = cont
-	site.cleanup = append(site.cleanup, func() {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
-		defer cancel()
-		_ = cont.Stop(ctx)
-	})
+	// Stop order (reverse of registration): the NTCP server drains first —
+	// while the container is still serving, so a mid-step coordinator sees
+	// the retryable drain code — then the container shuts down.
+	site.sup.Adopt("container", runtime.Funcs{
+		StopFunc:    cont.Stop,
+		HealthyFunc: cont.Healthy,
+	}, runtime.WithDrain(time.Second))
+	site.sup.Adopt("ntcp-server", server)
 	site.Addr = addr
 	site.Server = server
 
@@ -364,21 +381,28 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 		Name: spec.Name + ".disp", Kind: daq.LVDT, Units: "m",
 		Read: site.LastDisp, NoiseStd: noise,
 	}); err != nil {
-		site.Stop()
+		_ = site.Stop()
 		return nil, err
 	}
 	if err := site.DAQ.AddChannel(daq.Channel{
 		Name: spec.Name + ".force", Kind: daq.LoadCell, Units: "N",
 		Read: site.LastForce, NoiseStd: noise * 1e4,
 	}); err != nil {
-		site.Stop()
+		_ = site.Stop()
 		return nil, err
 	}
 	site.DAQ.AttachHub(site.Hub)
-	site.cleanup = append(site.cleanup, site.Hub.Close)
+	site.sup.Adopt("hub", runtime.StopFunc(site.Hub.Close))
 
 	// Telepresence camera watching the specimen.
 	site.Camera = telepresence.NewCamera(spec.Name+"-cam1", site.LastDisp)
+
+	// Every component was adopted already-running; Start only flips the
+	// supervisor ready so Healthy/Ready report a sane aggregate state.
+	if err := site.sup.Start(context.Background()); err != nil {
+		_ = site.Stop()
+		return nil, err
+	}
 	return site, nil
 }
 

@@ -377,12 +377,15 @@ type subscribeMsg struct {
 type Server struct {
 	hub *Hub
 
-	mu sync.Mutex
-	ln net.Listener
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	stopped bool
+	done    sync.WaitGroup // outstanding serve goroutines
 }
 
 // NewServer wraps a hub.
-func NewServer(hub *Hub) *Server { return &Server{hub: hub} }
+func NewServer(hub *Hub) *Server { return &Server{hub: hub, conns: make(map[net.Conn]struct{})} }
 
 // Start listens on addr; returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
@@ -392,6 +395,7 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.stopped = false
 	s.mu.Unlock()
 	go func() {
 		for {
@@ -399,24 +403,73 @@ func (s *Server) Start(addr string) (string, error) {
 			if err != nil {
 				return
 			}
+			s.mu.Lock()
+			if s.stopped {
+				s.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.done.Add(1)
+			s.mu.Unlock()
 			go s.serve(conn)
 		}
 	}()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and severs every subscriber connection
+// immediately.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stopped = true
+	err := error(nil)
 	if s.ln != nil {
-		return s.ln.Close()
+		err = s.ln.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Stop is the graceful form of Close for the runtime supervisor: it stops
+// the listener, severs subscribers, and waits (bounded by ctx) for the
+// per-connection goroutines to finish flushing.
+func (s *Server) Stop(ctx context.Context) error {
+	err := s.Close()
+	idle := make(chan struct{})
+	go func() { s.done.Wait(); close(idle) }()
+	select {
+	case <-idle:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("nsds: subscriber connections still draining: %w", ctx.Err())
+	}
+}
+
+// Healthy reports nil while the listener is accepting subscribers.
+func (s *Server) Healthy() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return fmt.Errorf("nsds: server not started")
+	}
+	if s.stopped {
+		return fmt.Errorf("nsds: server stopped")
 	}
 	return nil
 }
 
 func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.done.Done()
+	}()
 	sc := bufio.NewScanner(conn)
 	if !sc.Scan() {
 		return

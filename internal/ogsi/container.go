@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"neesgrid/internal/gsi"
@@ -153,7 +154,20 @@ type Container struct {
 	listener   net.Listener
 	stopReaper chan struct{}
 	reaperOnce sync.Once
+
+	// lifecycle state for health probes: 0 new, 1 serving, 2 draining,
+	// 3 stopped. Stop flips to draining before http.Server.Shutdown so a
+	// readiness aggregator deregisters the endpoint ahead of the listener
+	// closing.
+	state atomic.Int32
 }
+
+const (
+	contNew = int32(iota)
+	contServing
+	contDraining
+	contStopped
+)
 
 // NewContainer creates a container with the given server credential, trust
 // store, and gridmap. It records per-service/per-op request counts, fault
@@ -464,7 +478,31 @@ func (c *Container) Start(addr string) (string, error) {
 		}
 	}()
 	go func() { _ = c.httpServer.Serve(ln) }()
+	c.state.Store(contServing)
 	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound listen address ("" before Start).
+func (c *Container) Addr() string {
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+// Healthy reports nil while the container is serving — the per-component
+// signal the runtime supervisor aggregates into /healthz.
+func (c *Container) Healthy() error {
+	switch c.state.Load() {
+	case contServing:
+		return nil
+	case contDraining:
+		return fmt.Errorf("ogsi: container draining")
+	case contStopped:
+		return fmt.Errorf("ogsi: container stopped")
+	default:
+		return fmt.Errorf("ogsi: container not started")
+	}
 }
 
 // serveMetrics renders the container's telemetry registry on GET /metrics.
@@ -506,15 +544,21 @@ func (c *Container) serveTrace(w http.ResponseWriter, r *http.Request) {
 	trace.Handler(tr.Recorder()).ServeHTTP(w, r)
 }
 
-// Stop shuts the container down.
+// Stop shuts the container down: it first deregisters from readiness
+// (Healthy turns non-nil, so /healthz aggregation and any load balancer
+// watching it stop routing here), then lets http.Server.Shutdown finish
+// the requests already in flight within ctx's deadline.
 func (c *Container) Stop(ctx context.Context) error {
+	c.state.CompareAndSwap(contServing, contDraining)
 	c.reaperOnce.Do(func() {
 		if c.stopReaper != nil {
 			close(c.stopReaper)
 		}
 	})
+	var err error
 	if c.httpServer != nil {
-		return c.httpServer.Shutdown(ctx)
+		err = c.httpServer.Shutdown(ctx)
 	}
-	return nil
+	c.state.Store(contStopped)
+	return err
 }

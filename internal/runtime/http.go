@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"neesgrid/internal/trace"
+)
+
+// HealthzHandler serves liveness: 200 "ok" while the process and its
+// started components are healthy, 503 with the aggregated error text
+// otherwise. Liveness stays 200 during a graceful drain — a draining
+// process is doing exactly what it should and must not be killed for it.
+func (s *Supervisor) HealthzHandler() http.Handler {
+	return probeHandler(s.Healthy)
+}
+
+// ReadyzHandler serves readiness: 503 until every component is up, 200
+// while serving, and 503 again the moment drain begins — before any
+// listener closes, so an orchestrator routing on /readyz stops sending
+// traffic ahead of the connection resets.
+func (s *Supervisor) ReadyzHandler() http.Handler {
+	return probeHandler(s.Ready)
+}
+
+func probeHandler(probe func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := probe(); err != nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "%v\n", err)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// DebugMux extends the trace/pprof debug mux every daemon serves behind
+// its -pprof flag with the supervisor's /healthz and /readyz probes: one
+// side listener carries profiles, spans, liveness and readiness.
+func DebugMux(rec *trace.Recorder, sup *Supervisor) *http.ServeMux {
+	mux := trace.DebugMux(rec)
+	if sup != nil {
+		mux.Handle("/healthz", sup.HealthzHandler())
+		mux.Handle("/readyz", sup.ReadyzHandler())
+	}
+	return mux
+}
+
+// DebugServer is the probe/profile side listener as a Component. Register
+// it first: components stop in reverse order, so the first-registered
+// server is the last stopped and /readyz keeps answering 503 for the
+// whole drain.
+type DebugServer struct {
+	addr    string
+	handler http.Handler
+
+	bound   atomic.Value // string
+	serving atomic.Bool
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// NewDebugServer creates a debug server for addr (e.g. "127.0.0.1:6060";
+// port 0 picks a free one, readable from Addr after Start).
+func NewDebugServer(addr string, handler http.Handler) *DebugServer {
+	return &DebugServer{addr: addr, handler: handler}
+}
+
+// Addr returns the bound address once started ("" before).
+func (d *DebugServer) Addr() string {
+	if a, ok := d.bound.Load().(string); ok {
+		return a
+	}
+	return ""
+}
+
+// Start binds the listener and serves in the background.
+func (d *DebugServer) Start(ctx context.Context) error {
+	ln, err := net.Listen("tcp", d.addr)
+	if err != nil {
+		return fmt.Errorf("debug listener %s: %w", d.addr, err)
+	}
+	d.ln = ln
+	d.bound.Store(ln.Addr().String())
+	d.srv = &http.Server{Handler: d.handler}
+	d.serving.Store(true)
+	go func() { _ = d.srv.Serve(ln) }()
+	return nil
+}
+
+// Stop shuts the server down within ctx.
+func (d *DebugServer) Stop(ctx context.Context) error {
+	if d.srv == nil {
+		return nil
+	}
+	d.serving.Store(false)
+	return d.srv.Shutdown(ctx)
+}
+
+// Healthy reports whether the listener is up.
+func (d *DebugServer) Healthy() error {
+	if !d.serving.Load() {
+		return fmt.Errorf("debug server not serving")
+	}
+	return nil
+}
