@@ -26,6 +26,11 @@
 // SIGINT/SIGTERM interrupt the stepping loop but still flush the partial
 // response history, ground record and run report before exiting 0; a run
 // that dies on its own exits 2.
+//
+// With -checkpoint the coordinator journals an atomic per-step snapshot;
+// a crashed coordinator restarted with -resume picks the run up from the
+// snapshot, relying on NTCP's named-transaction dedupe to replay any step
+// the sites already executed.
 package main
 
 import (
@@ -85,6 +90,9 @@ func run() int {
 	caCert := flag.String("ca-cert", "certs/ca.cert", "trusted CA certificate")
 	credPath := flag.String("cred", "", "coordinator credential")
 	out := flag.String("out", "out", "output directory")
+	ckptPath := flag.String("checkpoint", "", "journal per-step snapshots to this file (atomic replace)")
+	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
+	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting from rest")
 	var debugFlags runtime.DebugFlags
 	debugFlags.Register(nil)
 	flag.Parse()
@@ -167,14 +175,29 @@ func run() int {
 		damp = structural.RayleighDamping(m, k, cfg.Damping, wn, 5*wn)
 	}
 
-	co, err := coord.New(coord.Config{
+	ccfg := coord.Config{
 		M: m, C: damp, K: k,
 		Dt: cfg.Dt, Steps: cfg.Steps,
 		Ground:    ground.At,
 		RunID:     cfg.Name,
 		Telemetry: reg,
 		Tracer:    tracer,
-	}, sites...)
+	}
+	if *ckptPath != "" {
+		ccfg.Checkpoint = &coord.CheckpointConfig{Path: *ckptPath, Every: *ckptEvery}
+	}
+	if *resume {
+		if *ckptPath == "" {
+			return fatal("-resume requires -checkpoint")
+		}
+		cp, err := coord.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			return fatal("resume: %v", err)
+		}
+		ccfg.Resume = cp
+		fmt.Printf("coordinator: resuming %q from checkpoint at step %d\n", cp.RunID, cp.Step)
+	}
+	co, err := coord.New(ccfg, sites...)
 	if err != nil {
 		return fatal("coordinator: %v", err)
 	}
@@ -195,6 +218,13 @@ func run() int {
 		fmt.Printf("coordinator: completed %d/%d steps in %s (recovered %d transient failures, %d retries)\n",
 			report.StepsCompleted, cfg.Steps, report.Elapsed.Round(time.Millisecond),
 			report.Recovered, report.Retries)
+		if report.Checkpoints > 0 || report.ResumedFrom >= 0 {
+			from := "from rest"
+			if report.ResumedFrom >= 0 {
+				from = fmt.Sprintf("resumed from step %d", report.ResumedFrom)
+			}
+			fmt.Printf("coordinator: wrote %d checkpoints (%s)\n", report.Checkpoints, from)
+		}
 		if sl := report.StepLatency; sl.Count > 0 {
 			fmt.Printf("coordinator: step latency p50=%s p95=%s p99=%s\n",
 				seconds(sl.P50), seconds(sl.P95), seconds(sl.P99))

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"neesgrid/internal/chaos"
+)
+
+// chaosCmd runs a chaos scenario end to end: it loads the scenario file,
+// supervises coordinator incarnations across the scheduled faults, and
+// emits the deterministic verdict report. Wall-clock observations (per-
+// fault recovery latency) are printed to stderr and recorded in the run's
+// telemetry/trace, never in the verdict — the verdict must byte-replay.
+//
+// Exit status: 0 = scenario completed all steps, 2 = the faults outlasted
+// the restart budget, 1 = the harness itself failed.
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	scenario := fs.String("scenario", "", "scenario file (deploy/scenarios/*.json)")
+	out := fs.String("out", "", "also write the verdict JSON to this file")
+	ckpt := fs.String("checkpoint", "", "coordinator checkpoint path (default: temp dir, removed after the run)")
+	quiet := fs.Bool("q", false, "suppress progress lines on stderr")
+	_ = fs.Parse(args)
+	if *scenario == "" {
+		fatalExit("chaos: -scenario required")
+	}
+
+	sc, err := chaos.Load(*scenario)
+	if err != nil {
+		fatalExit("chaos: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := chaos.Options{CheckpointPath: *ckpt}
+	if !*quiet {
+		opts.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "chaos: "+format+"\n", a...)
+		}
+	}
+	v, err := chaos.Run(ctx, sc, opts)
+	if err != nil {
+		fatalExit("chaos: %v", err)
+	}
+
+	report := v.Marshal()
+	os.Stdout.Write(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, report, 0o644); err != nil {
+			fatalExit("chaos: write verdict: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "chaos: wrote %s\n", *out)
+	}
+	if !v.Completed {
+		fatal("chaos: scenario %q did not complete: %d/%d steps after %d incarnations",
+			v.Scenario, v.FinalStep, v.Steps, v.Incarnations)
+		os.Exit(2)
+	}
+}

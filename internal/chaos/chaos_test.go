@@ -1,0 +1,200 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// testScenario is a fast MOST-shaped scenario exercising every fault kind:
+// a transient drop (ridden out by retries), an NSDS drop storm, a delay
+// ramp, a coordinator kill, a site-daemon kill, and a partition that
+// outlasts one incarnation's retry budget.
+func testScenario() *Scenario {
+	return &Scenario{
+		Name:            "test-all-faults",
+		Topology:        "most-sim",
+		Steps:           90,
+		Seed:            7,
+		RetryAttempts:   5,
+		RetryBackoffMS:  1,
+		CheckpointEvery: 1,
+		Faults: []Fault{
+			{Kind: KindDrop, Step: 10, Site: "uiuc", Count: 2},
+			{Kind: KindNSDSDrop, Step: 20, Site: "ncsa", Count: 5},
+			{Kind: KindDelay, Step: 30, EndStep: 40, DelayMS: 2},
+			{Kind: KindKillCoordinator, Step: 50},
+			{Kind: KindKillSite, Step: 60, Site: "ncsa"},
+			{Kind: KindOutage, Step: 75, Site: "cu", Count: 7},
+		},
+	}
+}
+
+func TestScenarioSurvivesEveryFaultKind(t *testing.T) {
+	sc := testScenario()
+	v, err := Run(context.Background(), sc, Options{Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Completed || v.FinalStep != 90 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	// Three deaths: the scheduled coordinator kill at 50, the site kill at
+	// 60, and one retry-budget exhaustion inside the 7-call partition at 75
+	// (5 failed attempts kill incarnation 3; the next incarnation burns the
+	// remaining 2 window calls and gets through on its third attempt).
+	want := []int{50, 60, 75}
+	if len(v.DeathSteps) != len(want) {
+		t.Fatalf("death steps %v, want %v", v.DeathSteps, want)
+	}
+	for i, s := range want {
+		if v.DeathSteps[i] != s {
+			t.Fatalf("death steps %v, want %v", v.DeathSteps, want)
+		}
+	}
+	if v.Incarnations != 4 {
+		t.Fatalf("incarnations = %d, want 4", v.Incarnations)
+	}
+	if v.SiteRestarts["ncsa"] != 1 {
+		t.Fatalf("site restarts = %v", v.SiteRestarts)
+	}
+	if v.ForcedStreamDrops != 5 {
+		t.Fatalf("forced stream drops = %d, want 5", v.ForcedStreamDrops)
+	}
+	for _, f := range v.Faults {
+		if !f.Fired {
+			t.Fatalf("fault %+v never fired", f)
+		}
+	}
+}
+
+func TestScenarioVerdictByteReplays(t *testing.T) {
+	// The acceptance property: same scenario ⇒ byte-identical verdict —
+	// and fault recovery must not perturb the structural response, so the
+	// trajectory digest must equal that of a fault-free run.
+	sc := testScenario()
+	v1, err := Run(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Run(context.Background(), testScenario(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Marshal(), v2.Marshal()) {
+		t.Fatalf("verdicts differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", v1.Marshal(), v2.Marshal())
+	}
+
+	clean := &Scenario{
+		Name: "clean", Topology: "most-sim", Steps: 90, Seed: 7,
+		RetryAttempts: 5, RetryBackoffMS: 1,
+	}
+	v3, err := Run(context.Background(), clean, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.Incarnations != 1 || len(v3.DeathSteps) != 0 {
+		t.Fatalf("clean run verdict = %+v", v3)
+	}
+	if v1.TrajectoryDigest != v3.TrajectoryDigest {
+		t.Fatalf("fault recovery perturbed the trajectory:\nfaulty %s\nclean  %s",
+			v1.TrajectoryDigest, v3.TrajectoryDigest)
+	}
+}
+
+func TestScenarioRestartBudgetExhaustion(t *testing.T) {
+	// A partition far wider than the restart budget: the engine gives up
+	// with Completed=false and no error.
+	sc := &Scenario{
+		Name: "hopeless", Topology: "most-sim", Steps: 40, Seed: 1,
+		RetryAttempts: 2, RetryBackoffMS: 1, MaxRestarts: 2,
+		Faults: []Fault{{Kind: KindOutage, Step: 20, Site: "cu", Count: 1000}},
+	}
+	v, err := Run(context.Background(), sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Completed {
+		t.Fatal("hopeless scenario reported completion")
+	}
+	if len(v.DeathSteps) != 3 { // initial death + 2 restarts
+		t.Fatalf("death steps %v, want 3 deaths at step 20", v.DeathSteps)
+	}
+	for _, s := range v.DeathSteps {
+		if s != 20 {
+			t.Fatalf("death steps %v, want all at 20", v.DeathSteps)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	base := func() *Scenario {
+		return &Scenario{Name: "v", Topology: "most-sim", Steps: 50, Faults: []Fault{}}
+	}
+	cases := []struct {
+		name string
+		mut  func(sc *Scenario)
+	}{
+		{"no name", func(sc *Scenario) { sc.Name = "" }},
+		{"unknown topology", func(sc *Scenario) { sc.Topology = "nope" }},
+		{"unknown kind", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: "melt", Step: 1}}
+		}},
+		{"step out of range", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindDrop, Step: 51, Site: "cu", Count: 1}}
+		}},
+		{"unknown site", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindDrop, Step: 1, Site: "mars", Count: 1}}
+		}},
+		{"drop without count", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindDrop, Step: 1, Site: "cu"}}
+		}},
+		{"kill-site without site", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindKillSite, Step: 1}}
+		}},
+		{"kill-site with coarse checkpoints", func(sc *Scenario) {
+			sc.CheckpointEvery = 10
+			sc.Faults = []Fault{{Kind: KindKillSite, Step: 5, Site: "cu"}}
+		}},
+		{"delay ramp ending before it starts", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindDelay, Step: 10, EndStep: 5, DelayMS: 2}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mut(sc)
+			if err := sc.Validate(); err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid scenario rejected: %v", err)
+	}
+}
+
+func TestLoadScenarioFile(t *testing.T) {
+	sc := testScenario()
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sc.Name || len(got.Faults) != len(sc.Faults) {
+		t.Fatalf("loaded scenario = %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing scenario file accepted")
+	}
+}

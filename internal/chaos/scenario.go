@@ -1,0 +1,233 @@
+// Package chaos is the scenario-driven fault engine that lets a MOST run
+// outlive the failures that killed the original: the paper's public run
+// ended prematurely at step 1493 when a final network error outlasted the
+// coordinator's retries (§3.4). A chaos scenario schedules WAN partitions,
+// transient drops, site-daemon kills, NSDS drop storms, and delay ramps
+// against a live in-process topology; the engine supervises coordinator
+// incarnations across those faults, resuming each one from the previous
+// incarnation's checkpoint until the run completes.
+//
+// Everything is deterministic by construction: faults are armed at step
+// commits, outages are measured in call counts rather than wall time, the
+// coordinator is killed by a pre-step hook that produces no network
+// traffic, and the verdict carries no wall-clock values — so the same
+// scenario file byte-replays to the same verdict on every machine. Wall
+// -clock observations (per-fault recovery latency) go to telemetry and
+// trace instead.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"neesgrid/internal/core"
+	"neesgrid/internal/most"
+)
+
+// Fault kinds a scenario can schedule.
+const (
+	// KindDrop queues Count transport failures at the site's injector — a
+	// transient network failure the NTCP retry policy should ride out.
+	KindDrop = "drop"
+	// KindOutage schedules a partition window of Count failed calls at the
+	// site — counted, not timed, so the heal point replays exactly. A
+	// window longer than the retry budget kills the coordinator; the engine
+	// resumes it from checkpoint until the window is burned through.
+	KindOutage = "outage"
+	// KindKillCoordinator aborts the coordinator before the step runs, with
+	// no network traffic — a coordinator process crash. The engine starts a
+	// fresh incarnation from the last checkpoint.
+	KindKillCoordinator = "kill-coordinator"
+	// KindKillSite fails the site's next plugin execution and, after the
+	// coordinator dies of it, restarts the site's NTCP daemon with an empty
+	// transaction table over the same (still-wound) specimen.
+	KindKillSite = "kill-site"
+	// KindNSDSDrop makes the site's streaming hub swallow the next Count
+	// published samples — an NSDS drop storm.
+	KindNSDSDrop = "nsds-drop"
+	// KindDelay ramps extra per-call WAN delay from 0 at Step to DelayMS at
+	// EndStep (cleared afterwards); without EndStep the delay is constant
+	// from Step on. Models clock-skew-style slowdowns.
+	KindDelay = "delay"
+)
+
+// Fault is one scheduled fault. Faults fire when the step before Step
+// commits (so they are armed before Step's first network call); two faults
+// may share a step.
+type Fault struct {
+	Kind string `json:"kind"`
+	Step int    `json:"step"`
+	// Site names the target site; empty targets every site (not valid for
+	// kill-site).
+	Site string `json:"site,omitempty"`
+	// Count parameterizes drop (failures), outage (failed calls), and
+	// nsds-drop (samples).
+	Count int `json:"count,omitempty"`
+	// DelayMS and EndStep parameterize delay ramps.
+	DelayMS int `json:"delay_ms,omitempty"`
+	EndStep int `json:"end_step,omitempty"`
+}
+
+// WANSpec optionally overrides every site's WAN profile. Seeded jitter and
+// random drops stay deterministic because each site's injector consumes
+// its own seeded stream in a deterministic call order.
+type WANSpec struct {
+	LatencyMS int     `json:"latency_ms,omitempty"`
+	JitterMS  int     `json:"jitter_ms,omitempty"`
+	DropRate  float64 `json:"drop_rate,omitempty"`
+}
+
+// Scenario is the JSON chaos-scenario DSL (deploy/scenarios/*.json).
+type Scenario struct {
+	Name string `json:"name"`
+	// Topology selects the experiment: most-sim (default), most-hybrid,
+	// minimost, soil-structure.
+	Topology string `json:"topology,omitempty"`
+	// Steps overrides the topology's step count when > 0.
+	Steps int `json:"steps,omitempty"`
+	// Seed offsets every site's WAN profile seed, so re-running the same
+	// file replays the same jitter/drop streams.
+	Seed int64 `json:"seed"`
+	// RetryAttempts overrides the coordinator retry budget (0 keeps the
+	// topology default); RetryBackoffMS tightens the first backoff so
+	// partition scenarios run fast under test.
+	RetryAttempts  int `json:"retry_attempts,omitempty"`
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// CheckpointEvery is the checkpoint cadence in steps (default 1).
+	// Scenarios with kill-site faults require 1: a restarted site has an
+	// empty dedupe table, so any step older than the last checkpoint would
+	// re-execute on its specimen.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// MaxRestarts bounds coordinator incarnations (default 8). A scenario
+	// whose faults outlast the budget gets Completed=false, not an error.
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// WAN optionally overrides every site's network profile.
+	WAN *WANSpec `json:"wan,omitempty"`
+	// Faults is the schedule.
+	Faults []Fault `json:"faults"`
+}
+
+// Load reads and validates a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: read scenario: %w", err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return nil, fmt.Errorf("chaos: decode scenario %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("chaos: scenario %s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+func (sc *Scenario) maxRestarts() int {
+	if sc.MaxRestarts <= 0 {
+		return 8
+	}
+	return sc.MaxRestarts
+}
+
+func (sc *Scenario) checkpointEvery() int {
+	if sc.CheckpointEvery <= 0 {
+		return 1
+	}
+	return sc.CheckpointEvery
+}
+
+// Spec builds the experiment spec the scenario runs against: the selected
+// topology with the scenario's step count, retry policy, and WAN profile,
+// and with the topology's own fault schedule cleared — the scenario is the
+// single source of faults.
+func (sc *Scenario) Spec() (most.Spec, error) {
+	var spec most.Spec
+	switch sc.Topology {
+	case "", "most-sim":
+		spec = most.MOSTSpec(most.VariantSimulation, core.DefaultRetry)
+	case "most-hybrid":
+		spec = most.MOSTSpec(most.VariantHybrid, core.DefaultRetry)
+	case "minimost":
+		spec = most.MiniMOSTSpec(false)
+	case "soil-structure":
+		spec = most.SoilStructureSpec()
+	default:
+		return spec, fmt.Errorf("chaos: unknown topology %q", sc.Topology)
+	}
+	spec.Faults = nil
+	if sc.Steps > 0 {
+		spec.Steps = sc.Steps
+	}
+	if sc.RetryAttempts > 0 {
+		spec.Retry.Attempts = sc.RetryAttempts
+	}
+	if sc.RetryBackoffMS > 0 {
+		spec.Retry.Backoff = time.Duration(sc.RetryBackoffMS) * time.Millisecond
+		spec.Retry.MaxBackoff = 10 * spec.Retry.Backoff
+	}
+	for i := range spec.Sites {
+		if sc.WAN != nil {
+			spec.Sites[i].WAN.Latency = time.Duration(sc.WAN.LatencyMS) * time.Millisecond
+			spec.Sites[i].WAN.Jitter = time.Duration(sc.WAN.JitterMS) * time.Millisecond
+			spec.Sites[i].WAN.DropRate = sc.WAN.DropRate
+		}
+		spec.Sites[i].WAN.Seed = sc.Seed + int64(i)
+	}
+	return spec, nil
+}
+
+// Validate checks the schedule against the scenario's topology.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("scenario needs a name")
+	}
+	spec, err := sc.Spec()
+	if err != nil {
+		return err
+	}
+	steps := spec.Steps
+	if steps <= 0 {
+		steps = spec.Frame.Steps
+	}
+	siteNames := make(map[string]bool, len(spec.Sites))
+	for _, s := range spec.Sites {
+		siteNames[s.Name] = true
+	}
+	for i, f := range sc.Faults {
+		at := fmt.Sprintf("fault %d (%s at step %d)", i, f.Kind, f.Step)
+		if f.Step < 1 || f.Step > steps {
+			return fmt.Errorf("%s: step outside 1..%d", at, steps)
+		}
+		if f.Site != "" && !siteNames[f.Site] {
+			return fmt.Errorf("%s: unknown site %q", at, f.Site)
+		}
+		switch f.Kind {
+		case KindDrop, KindOutage, KindNSDSDrop:
+			if f.Count <= 0 {
+				return fmt.Errorf("%s: needs a positive count", at)
+			}
+		case KindKillCoordinator:
+		case KindKillSite:
+			if f.Site == "" {
+				return fmt.Errorf("%s: needs a site", at)
+			}
+			if sc.checkpointEvery() != 1 {
+				return fmt.Errorf("%s: kill-site requires checkpoint_every 1 "+
+					"(a restarted site cannot replay steps older than the last checkpoint)", at)
+			}
+		case KindDelay:
+			if f.DelayMS <= 0 {
+				return fmt.Errorf("%s: needs a positive delay_ms", at)
+			}
+			if f.EndStep != 0 && f.EndStep < f.Step {
+				return fmt.Errorf("%s: end_step before step", at)
+			}
+		default:
+			return fmt.Errorf("%s: unknown kind %q", at, f.Kind)
+		}
+	}
+	return nil
+}

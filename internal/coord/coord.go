@@ -84,6 +84,26 @@ type Config struct {
 	// step N slow". Share its recorder with the ogsi clients' tracer so
 	// client transport spans land in the same ring. Nil disables tracing.
 	Tracer *trace.Tracer
+	// Checkpoint, when non-nil, journals the coordinator's committed state
+	// to an atomic snapshot file after every Checkpoint.Every steps. The
+	// integrator must implement structural.Resumable. A checkpoint write
+	// failure aborts the run: silently losing durability would turn the
+	// next crash into exactly the unrecoverable step-1493 ending this
+	// feature exists to prevent.
+	Checkpoint *CheckpointConfig
+	// Resume, when non-nil, starts the run from a checkpoint instead of
+	// from rest: the integrator is reconstructed at Resume.Step and the
+	// loop continues at Resume.Step+1, re-proposing through the normal
+	// restore path — already-decided transactions at the sites replay from
+	// their dedupe tables, fresh ones execute normally.
+	Resume *Checkpoint
+	// Interrupt, when set, is consulted before each step is integrated; a
+	// non-nil error aborts the run at that step with no network traffic.
+	// The chaos engine uses it to kill the coordinator deterministically
+	// at a scheduled step (a context cancel would leak a timing-dependent
+	// number of in-flight calls into the sites' fault injectors and break
+	// byte-replay).
+	Interrupt func(step int) error
 }
 
 // Report summarizes a run — the material of §3.4.
@@ -103,6 +123,11 @@ type Report struct {
 	Recovered int
 	// Retries is the total number of retry attempts across all sites.
 	Retries int
+	// ResumedFrom is the checkpoint step this run resumed from (-1 when
+	// the run started from rest).
+	ResumedFrom int
+	// Checkpoints is the number of snapshot files written during the run.
+	Checkpoints int
 	// StepLatency summarizes per-step wall-clock time (p50/p95/p99) — the
 	// number that tells you whether the WAN or the rigs dominate a step.
 	StepLatency telemetry.HistogramSnapshot
@@ -162,7 +187,19 @@ func New(cfg Config, sites ...Site) (*Coordinator, error) {
 	if cfg.Integrator == nil {
 		cfg.Integrator = structural.NewExplicitNewmark()
 	}
-	return &Coordinator{cfg: cfg, sites: sites, tel: telemetry.OrNew(cfg.Telemetry), tracer: cfg.Tracer}, nil
+	if cfg.Checkpoint != nil || cfg.Resume != nil {
+		if _, ok := cfg.Integrator.(structural.Resumable); !ok {
+			return nil, fmt.Errorf("coord: integrator %s does not support checkpoint/resume",
+				cfg.Integrator.Name())
+		}
+	}
+	c := &Coordinator{cfg: cfg, sites: sites, tel: telemetry.OrNew(cfg.Telemetry), tracer: cfg.Tracer}
+	if cfg.Resume != nil {
+		if err := c.validateResume(cfg.Resume); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
 }
 
 // siteOutcome is one site's response to a step.
@@ -353,7 +390,7 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 			return c.restore(stepCtx, &step, d)
 		},
 	}
-	report := &Report{}
+	report := &Report{ResumedFrom: -1}
 	stepHist := c.tel.Histogram("coord.step.seconds", telemetry.DefaultLatencyBuckets...)
 	finish := func(err error, failedStep int) (*structural.History, *Report, error) {
 		report.Elapsed = time.Since(start)
@@ -397,36 +434,128 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		}
 	}
 
-	d0 := make([]float64, n)
-	v0 := make([]float64, n)
-	sctx, span := c.tracer.Start(ctx, "coord.step", trace.KindInternal)
-	span.SetAttr("run", c.cfg.RunID)
-	span.SetAttr("step", "0")
-	stepCtx = sctx
-	st, err := c.cfg.Integrator.Init(sys, c.cfg.Dt, d0, v0,
-		structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(0)))
-	if err != nil {
-		span.SetError(err)
-		span.End()
-		_, rep, err := finish(&stepError{step: 0, err: err}, 0)
-		return nil, rep, err
-	}
 	hist := structural.NewHistory(n, c.cfg.Steps)
-	hist.Record(st)
-	notify(sctx, st)
-	span.End()
 
-	for s := 1; s <= c.cfg.Steps; s++ {
+	// lastTraceID remembers the root-span trace of the last committed step;
+	// it lands in each checkpoint so a resumed run's spans can link back to
+	// the timeline that died.
+	lastTraceID := ""
+	// saveCheckpoint journals the committed state after cadence-selected
+	// steps. A write failure is a run failure: continuing without durability
+	// would turn the next crash into the unrecoverable ending checkpointing
+	// exists to prevent.
+	saveCheckpoint := func(st structural.State) error {
+		ck := c.cfg.Checkpoint
+		if ck == nil {
+			return nil
+		}
+		if st.Step%ck.every() != 0 && st.Step != c.cfg.Steps && st.Step != 0 {
+			return nil
+		}
+		snap, err := c.cfg.Integrator.(structural.Resumable).Snapshot()
+		if err != nil {
+			return err
+		}
+		tail := hist.States
+		if k := ck.tail(); len(tail) > k {
+			tail = tail[len(tail)-k:]
+		}
+		if err := SaveCheckpoint(ck.Path, &Checkpoint{
+			Version:         checkpointVersion,
+			RunID:           c.cfg.RunID,
+			Step:            st.Step,
+			T:               st.T,
+			Steps:           c.cfg.Steps,
+			Dt:              c.cfg.Dt,
+			Integrator:      c.cfg.Integrator.Name(),
+			IntegratorState: snap,
+			Tail:            tail,
+			TraceID:         lastTraceID,
+		}); err != nil {
+			return err
+		}
+		report.Checkpoints++
+		c.tel.Counter("coord.checkpoints.written").Inc()
+		return nil
+	}
+
+	startStep := 1
+	if cp := c.cfg.Resume; cp != nil {
+		// Reconstruct the integrator at the checkpointed step instead of
+		// initializing from rest; the loop then continues at cp.Step+1,
+		// re-proposing under the same deterministic transaction names so the
+		// sites' dedupe tables replay anything already decided.
+		if err := c.cfg.Integrator.(structural.Resumable).Resume(sys, c.cfg.Dt, cp.IntegratorState); err != nil {
+			_, rep, ferr := finish(&stepError{step: cp.Step, err: err}, cp.Step)
+			return nil, rep, ferr
+		}
+		for _, st := range cp.Tail {
+			hist.Record(st)
+		}
+		lastTraceID = cp.TraceID
+		report.ResumedFrom = cp.Step
+		report.StepsCompleted = cp.Step
+		startStep = cp.Step + 1
+		c.tel.Counter("coord.resumes").Inc()
+		c.tel.Event("coord", "run.resumed", map[string]any{
+			"step": cp.Step, "trace": cp.TraceID,
+		})
+	} else {
+		d0 := make([]float64, n)
+		v0 := make([]float64, n)
+		sctx, span := c.tracer.Start(ctx, "coord.step", trace.KindInternal)
+		span.SetAttr("run", c.cfg.RunID)
+		span.SetAttr("step", "0")
+		stepCtx = sctx
+		st, err := c.cfg.Integrator.Init(sys, c.cfg.Dt, d0, v0,
+			structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(0)))
+		if err != nil {
+			span.SetError(err)
+			span.End()
+			_, rep, err := finish(&stepError{step: 0, err: err}, 0)
+			return nil, rep, err
+		}
+		hist.Record(st)
+		if id := span.Context().TraceID.String(); id != "" {
+			lastTraceID = id
+		}
+		if cerr := saveCheckpoint(st); cerr != nil {
+			span.SetError(cerr)
+			span.End()
+			_, rep, ferr := finish(&stepError{step: 0, err: cerr}, 0)
+			return hist, rep, ferr
+		}
+		notify(sctx, st)
+		span.End()
+	}
+
+	for s := startStep; s <= c.cfg.Steps; s++ {
 		step = s
+		if c.cfg.Interrupt != nil {
+			// The chaos kill hook: abort here, before any network traffic for
+			// step s, so the number of calls each fault injector has seen is a
+			// pure function of the committed step count — the property that
+			// makes a chaos scenario byte-replayable.
+			if err := c.cfg.Interrupt(s); err != nil {
+				_, rep, ferr := finish(&stepError{step: s, err: err}, s)
+				return hist, rep, ferr
+			}
+		}
 		// One root span per time step: the unit of the paper's latency
 		// breakdown. Every per-site NTCP span and (via OnStepCtx) every
 		// DAQ/streaming span of this step nests under it.
 		sctx, span := c.tracer.Start(ctx, "coord.step", trace.KindInternal)
 		span.SetAttr("run", c.cfg.RunID)
 		span.SetAttr("step", strconv.Itoa(s))
+		if cp := c.cfg.Resume; cp != nil && s == startStep {
+			span.SetAttr("resume.from_step", strconv.Itoa(cp.Step))
+			if cp.TraceID != "" {
+				span.SetAttr("resume.trace", cp.TraceID)
+			}
+		}
 		stepCtx = sctx
 		stepStart := time.Now()
-		st, err = c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
+		st, err := c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
 		stepHist.ObserveDuration(time.Since(stepStart))
 		if err != nil {
 			span.SetError(err)
@@ -435,12 +564,20 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 			// failure event and telemetry snapshot are recorded once and the
 			// returned error is the same value the report carries.
 			_, rep, ferr := finish(&stepError{step: s, err: err}, s)
-			rep.StepsCompleted = s - 1
 			return hist, rep, ferr
 		}
 		c.tel.Counter("coord.steps.completed").Inc()
 		hist.Record(st)
 		report.StepsCompleted = s
+		if id := span.Context().TraceID.String(); id != "" {
+			lastTraceID = id
+		}
+		if cerr := saveCheckpoint(st); cerr != nil {
+			span.SetError(cerr)
+			span.End()
+			_, rep, ferr := finish(&stepError{step: s, err: cerr}, s)
+			return hist, rep, ferr
+		}
 		notify(sctx, st)
 		span.End()
 	}

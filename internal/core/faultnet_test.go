@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"testing"
+	"time"
 
 	"neesgrid/internal/faultnet"
+	"neesgrid/internal/ogsi"
 	"neesgrid/internal/telemetry"
 )
 
@@ -43,6 +46,58 @@ func TestDefaultRetryRecoversThroughInjectedOutage(t *testing.T) {
 	}
 	if snap.Counters["ntcp.client.recovered"] == 0 {
 		t.Fatal("recovery not visible in shared registry")
+	}
+}
+
+// A scheduled outage window that opens while the server is draining: the
+// first retry attempts die at the transport (the partition), and once the
+// window is burned through the surviving attempt reaches the draining
+// server and gets the protocol-level retryable refusal — two independent
+// failure layers composing without eating each other's call budget.
+func TestScheduledOutageBeginningDuringDrain(t *testing.T) {
+	plug := newSlowPlugin()
+	f := newFixture(t, plug, nil)
+	in := faultnet.NewInjector(faultnet.LAN)
+	og := f.ogsiClient()
+	og.HTTP = &http.Client{Transport: faultnet.NewTransport(in)}
+	cl := NewClient(og, RetryPolicy{Attempts: 4, Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond})
+
+	// Put the server mid-drain: an in-flight actuator move pins Stop.
+	ctx := context.Background()
+	if _, err := f.server.Propose(ctx, "coord", proposal("drain-pin", 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	startDetachedExecution(t, f.server, "drain-pin")
+	<-plug.started
+	stopCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- f.server.Stop(stopCtx) }()
+	waitFor(t, func() bool { return f.server.Healthy() != nil })
+
+	// The partition opens now, mid-drain, for exactly two calls.
+	in.ScheduleOutage(0, 2)
+	_, err := cl.Run(ctx, proposal("mid-drain-outage", 0.02))
+	if err == nil {
+		t.Fatal("drain outlasts the retry budget; Run should fail")
+	}
+	// The terminal error must be the server's refusal, not the partition's
+	// transport error: the window burned calls 1-2, attempts 3-4 got through
+	// to the draining server.
+	var re *ogsi.RemoteError
+	if !errors.As(err, &re) || re.Code != ogsi.CodeUnavailable {
+		t.Fatalf("error after window = %v, want RemoteError %q", err, ogsi.CodeUnavailable)
+	}
+	if got := in.Injected(); got != 2 {
+		t.Fatalf("injected = %d, want the whole scheduled window consumed", got)
+	}
+	if st := cl.Stats(); st.Retries != 3 {
+		t.Fatalf("retries = %d, want 3 (both failure layers classified transient)", st.Retries)
+	}
+
+	close(plug.release)
+	if err := <-done; err != nil {
+		t.Fatalf("Stop: %v", err)
 	}
 }
 

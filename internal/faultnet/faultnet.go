@@ -42,14 +42,25 @@ var WAN2003 = Profile{Latency: 20 * time.Millisecond, Jitter: 5 * time.Milliseco
 // Injector produces transport errors on demand. It is shared between the
 // experiment harness (which schedules faults) and the transports it wraps.
 type Injector struct {
-	mu       sync.Mutex
-	profile  Profile
-	rng      *rand.Rand
-	failNext int
-	outage   bool
-	calls    int
-	injected int
-	tel      *telemetry.Registry
+	mu         sync.Mutex
+	profile    Profile
+	rng        *rand.Rand
+	failNext   int
+	outage     bool
+	windows    []outageWindow
+	extraDelay time.Duration
+	calls      int
+	injected   int
+	tel        *telemetry.Registry
+}
+
+// outageWindow is a scheduled outage measured in call counts: calls with
+// 1-based index in (start, start+length] fail. Counting calls instead of
+// wall time is what keeps chaos scenarios byte-replayable — the heal point
+// is a pure function of how much traffic the client pushed, not of how fast
+// the host happened to run.
+type outageWindow struct {
+	start, length int
 }
 
 // NewInjector builds an injector over a profile.
@@ -84,6 +95,40 @@ func (in *Injector) SetOutage(on bool) {
 	in.outage = on
 }
 
+// ScheduleOutage schedules a partition window measured in calls: after the
+// next `after` calls pass through, the following `length` calls fail. The
+// window is counted, not timed, so the same scenario heals at the same
+// retry attempt on every replay regardless of host speed. Windows may
+// overlap; a call inside any window fails.
+func (in *Injector) ScheduleOutage(after, length int) {
+	if after < 0 || length <= 0 {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.windows = append(in.windows, outageWindow{start: in.calls + after, length: length})
+}
+
+// SetExtraDelay adds a constant extra delay to every subsequent call on top
+// of the profile's latency and jitter. The chaos engine ramps this per step
+// to emulate clock-skewed slow-downs without touching the seeded jitter
+// stream.
+func (in *Injector) SetExtraDelay(d time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	in.extraDelay = d
+}
+
+// ExtraDelay returns the current extra per-call delay.
+func (in *Injector) ExtraDelay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.extraDelay
+}
+
 // Calls returns how many calls passed through the injector.
 func (in *Injector) Calls() int {
 	in.mu.Lock()
@@ -103,11 +148,25 @@ func (in *Injector) next() (time.Duration, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.calls++
-	delay := in.profile.Latency
+	delay := in.profile.Latency + in.extraDelay
 	if in.profile.Jitter > 0 {
 		delay += time.Duration(in.rng.Int63n(int64(in.profile.Jitter)))
 	}
 	fail := in.outage
+	if !fail {
+		// Scheduled windows are consulted on every call; expired windows are
+		// pruned so long runs do not accumulate them.
+		live := in.windows[:0]
+		for _, w := range in.windows {
+			if in.calls <= w.start+w.length {
+				live = append(live, w)
+				if in.calls > w.start {
+					fail = true
+				}
+			}
+		}
+		in.windows = live
+	}
 	if !fail && in.failNext > 0 {
 		in.failNext--
 		fail = true

@@ -69,6 +69,77 @@ func TestInjectorDropRateDeterministic(t *testing.T) {
 	}
 }
 
+func TestScheduleOutageWindow(t *testing.T) {
+	in := NewInjector(LAN)
+	in.ScheduleOutage(2, 3) // calls 3..5 fail
+	for i := 1; i <= 7; i++ {
+		_, err := in.next()
+		wantFail := i >= 3 && i <= 5
+		if gotFail := err != nil; gotFail != wantFail {
+			t.Fatalf("call %d: fail=%v, want %v", i, gotFail, wantFail)
+		}
+	}
+	if in.Injected() != 3 {
+		t.Fatalf("injected = %d, want 3", in.Injected())
+	}
+}
+
+func TestScheduleOutageOverlapAndBadArgs(t *testing.T) {
+	in := NewInjector(LAN)
+	in.ScheduleOutage(-1, 5) // no-ops: never scheduled
+	in.ScheduleOutage(0, 0)
+	in.ScheduleOutage(0, 2) // calls 1..2
+	in.ScheduleOutage(1, 3) // calls 2..4; overlap with the first on call 2
+	for i := 1; i <= 5; i++ {
+		_, err := in.next()
+		wantFail := i <= 4
+		if gotFail := err != nil; gotFail != wantFail {
+			t.Fatalf("call %d: fail=%v, want %v", i, gotFail, wantFail)
+		}
+	}
+	if in.Injected() != 4 {
+		t.Fatalf("injected = %d, want 4 (overlap must not double-count)", in.Injected())
+	}
+}
+
+// The zero-value seed is still a fixed seed: two injectors built from the
+// same profile — including Seed == 0 — must replay the same drop decisions
+// and jittered delays call for call. Chaos scenarios lean on this; a
+// time-seeded fallback for Seed == 0 would silently break byte-replay.
+func TestInjectorZeroSeedDeterministic(t *testing.T) {
+	p := Profile{DropRate: 0.3, Jitter: 3 * time.Millisecond, Seed: 0}
+	a, b := NewInjector(p), NewInjector(p)
+	drops := 0
+	for i := 0; i < 200; i++ {
+		da, ea := a.next()
+		db, eb := b.next()
+		if (ea != nil) != (eb != nil) || da != db {
+			t.Fatalf("call %d diverged: (%v,%v) vs (%v,%v)", i, da, ea, db, eb)
+		}
+		if ea != nil {
+			drops++
+		}
+	}
+	if drops < 30 || drops > 90 {
+		t.Fatalf("drop count %d implausible for rate 0.3", drops)
+	}
+}
+
+func TestInjectorExtraDelay(t *testing.T) {
+	in := NewInjector(Profile{Latency: 2 * time.Millisecond})
+	in.SetExtraDelay(5 * time.Millisecond)
+	if d, err := in.next(); err != nil || d != 7*time.Millisecond {
+		t.Fatalf("delay = %v, %v; want 7ms", d, err)
+	}
+	in.SetExtraDelay(-time.Millisecond) // clamped to zero
+	if in.ExtraDelay() != 0 {
+		t.Fatalf("negative extra delay not clamped: %v", in.ExtraDelay())
+	}
+	if d, err := in.next(); err != nil || d != 2*time.Millisecond {
+		t.Fatalf("delay = %v, %v; want bare profile latency", d, err)
+	}
+}
+
 func TestInjectorLatency(t *testing.T) {
 	in := NewInjector(Profile{Latency: 10 * time.Millisecond})
 	d, err := in.next()

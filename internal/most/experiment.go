@@ -59,6 +59,14 @@ type Spec struct {
 	DAQEvery int
 	// OnStep observes committed states.
 	OnStep func(structural.State)
+	// Checkpoint, Resume, and Interrupt pass through to the coordinator
+	// (coord.Config): per-step atomic snapshots, starting mid-run from a
+	// snapshot, and the deterministic pre-step abort hook. The chaos engine
+	// mutates these between coordinator incarnations while the sites stay
+	// up — the shape of a real coordinator crash in a live topology.
+	Checkpoint *coord.CheckpointConfig
+	Resume     *coord.Checkpoint
+	Interrupt  func(step int) error
 }
 
 // Results collects everything a run produced.
@@ -273,6 +281,9 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 		FastPath:   spec.FastPath,
 		Telemetry:  e.Telemetry,
 		Tracer:     e.Tracer,
+		Checkpoint: spec.Checkpoint,
+		Resume:     spec.Resume,
+		Interrupt:  spec.Interrupt,
 		OnStepCtx: func(ctx context.Context, st structural.State) {
 			// Faults scheduled for step N+1 are armed after step N commits.
 			applyFaults(st.Step + 1)

@@ -121,10 +121,17 @@ type Site struct {
 	// bounded, and error-reporting instead of an ad-hoc cleanup slice.
 	sup    *runtime.Supervisor
 	resets []func() error
+	// rec is the recording plugin wrapped around the control backend; a
+	// daemon restart builds a fresh NTCP server over the same plugin so the
+	// specimen (and its hysteresis) survives while the transaction table
+	// does not — exactly what a site-daemon crash does to a real rig.
+	rec *recordingPlugin
 
 	mu        sync.Mutex
 	lastDisp  float64
 	lastForce float64
+	failExec  error
+	restarts  int
 }
 
 // recordingPlugin wraps a site plugin so the harness can observe the last
@@ -139,6 +146,9 @@ func (r *recordingPlugin) Validate(ctx context.Context, actions []core.Action) e
 }
 
 func (r *recordingPlugin) Execute(ctx context.Context, actions []core.Action) ([]core.Result, error) {
+	if err := r.site.takeFailExec(); err != nil {
+		return nil, err
+	}
 	results, err := r.inner.Execute(ctx, actions)
 	if err == nil && len(results) > 0 && len(results[0].Displacements) > 0 {
 		r.site.mu.Lock()
@@ -163,6 +173,60 @@ func (s *Site) LastForce() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastForce
+}
+
+// FailNextExecute arms a one-shot plugin failure: the next execute at this
+// site fails with err before the backend runs, driving the transaction to
+// StateFailed — the signature of a site daemon dying mid-transaction. The
+// specimen is untouched (the action never reached it), which is what makes
+// a later replay of the step safe.
+func (s *Site) FailNextExecute(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failExec = err
+}
+
+// takeFailExec consumes an armed execute failure.
+func (s *Site) takeFailExec() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.failExec
+	s.failExec = nil
+	return err
+}
+
+// RestartServer emulates a site-daemon kill/restart: a fresh NTCP server
+// (empty transaction table, zero drained state) is swapped into the
+// container under the same service name, over the same plugin, policy, and
+// telemetry. The old server is abandoned, not drained — a killed daemon
+// does not get to say goodbye. Callers coordinate quiescence themselves
+// (the chaos engine restarts only between coordinator incarnations).
+func (s *Site) RestartServer() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	server := core.NewServer(s.rec, s.Spec.Policy,
+		core.ServerOptions{Telemetry: s.Telemetry, Tracer: s.Tracer})
+	if _, err := s.container.ReplaceService(server.Service()); err != nil {
+		return fmt.Errorf("most: site %s restart: %w", s.Spec.Name, err)
+	}
+	s.Server = server
+	s.restarts++
+	s.Telemetry.Counter("most.site.restarts").Inc()
+	return nil
+}
+
+// Restarts returns how many times the site's NTCP daemon was restarted.
+func (s *Site) Restarts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// currentServer returns the live NTCP server (it changes across restarts).
+func (s *Site) currentServer() *core.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Server
 }
 
 // Reset returns the site's substructure to its virgin state — the
@@ -343,6 +407,7 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 		return nil, fmt.Errorf("most: site %s: %w", spec.Name, err)
 	}
 	rec := &recordingPlugin{inner: backend, site: site}
+	site.rec = rec
 
 	siteCred, err := ca.Issue("/O=NEES/CN="+spec.Name, 24*time.Hour)
 	if err != nil {
@@ -367,7 +432,13 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 		StopFunc:    cont.Stop,
 		HealthyFunc: cont.Healthy,
 	}, runtime.WithDrain(time.Second))
-	site.sup.Adopt("ntcp-server", server)
+	// Dispatch through currentServer, not the concrete instance: after a
+	// chaos restart the supervisor must drain and health-check the live
+	// server, not the abandoned pre-crash one.
+	site.sup.Adopt("ntcp-server", runtime.Funcs{
+		StopFunc:    func(ctx context.Context) error { return site.currentServer().Stop(ctx) },
+		HealthyFunc: func() error { return site.currentServer().Healthy() },
+	})
 	site.Addr = addr
 	site.Server = server
 

@@ -75,6 +75,12 @@ type Hub struct {
 	closed   bool
 	retain   int
 	retained map[string][]Sample // channel → last `retain` samples
+	// forceDrop is the number of upcoming samples to swallow before they are
+	// sequenced or delivered — the chaos engine's "drop storm". Counted
+	// separately from backpressure drops: backpressure depends on consumer
+	// timing, forced drops are scheduled, and only the scheduled kind may
+	// appear in a deterministic chaos verdict.
+	forceDrop int
 
 	// fanMu guards delivery against channel close: publishers acquire the
 	// read side while still holding mu — so once a subscriber has been
@@ -84,8 +90,9 @@ type Hub struct {
 	// acquire mu while holding fanMu, so the ordering cannot deadlock.
 	fanMu sync.RWMutex
 
-	published atomic.Uint64
-	dropped   atomic.Uint64
+	published   atomic.Uint64
+	dropped     atomic.Uint64
+	forcedDrops atomic.Uint64
 
 	// tracer, when set, records an "nsds.publish" child span for batch
 	// publishes that arrive with a trace context (PublishBatchContext).
@@ -233,11 +240,33 @@ func (h *Hub) deliver(sub *Subscription, s Sample) {
 	}
 }
 
+// DropNext makes the hub swallow the next n published samples before they
+// are sequenced, retained, or delivered — as if the streaming link ate
+// them. Use it to emulate NSDS loss on a deterministic schedule; forced
+// drops are counted by ForcedDrops, not in the backpressure total.
+func (h *Hub) DropNext(n int) {
+	if n <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.forceDrop += n
+}
+
+// ForcedDrops returns how many samples DropNext has swallowed so far.
+func (h *Hub) ForcedDrops() uint64 { return h.forcedDrops.Load() }
+
 // Publish assigns a sequence number and delivers the sample best-effort.
 func (h *Hub) Publish(s Sample) {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
+		return
+	}
+	if h.forceDrop > 0 {
+		h.forceDrop--
+		h.mu.Unlock()
+		h.forcedDrops.Add(1)
 		return
 	}
 	h.seq++
@@ -297,6 +326,21 @@ func (h *Hub) PublishBatchContext(ctx context.Context, samples []Sample) {
 	if h.closed {
 		h.mu.Unlock()
 		return
+	}
+	if h.forceDrop > 0 {
+		// A drop storm eats the leading samples of the batch before they are
+		// sequenced — survivors keep consecutive sequence numbers.
+		k := h.forceDrop
+		if k > len(samples) {
+			k = len(samples)
+		}
+		h.forceDrop -= k
+		h.forcedDrops.Add(uint64(k))
+		samples = samples[k:]
+		if len(samples) == 0 {
+			h.mu.Unlock()
+			return
+		}
 	}
 	for i := range samples {
 		h.seq++

@@ -250,6 +250,24 @@ func (c *Container) AddService(s *Service) {
 	s.SDEs.SetComputed("metrics", func() any { return c.metricsSnapshot() })
 }
 
+// ReplaceService atomically swaps in a service under a name that is already
+// registered, returning the displaced service. In-flight requests against
+// the old service finish against it; subsequent dispatches see the new one.
+// This is the hook a site-daemon restart uses: a fresh NTCP server (empty
+// transaction table) takes over the same service name without tearing down
+// the container's listener or TLS state.
+func (c *Container) ReplaceService(s *Service) (*Service, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.services[s.Name()]
+	if !ok {
+		return nil, fmt.Errorf("ogsi: no service %s to replace", s.Name())
+	}
+	c.services[s.Name()] = s
+	s.SDEs.SetComputed("metrics", func() any { return c.metricsSnapshot() })
+	return old, nil
+}
+
 // Service returns a hosted service by name.
 func (c *Container) Service(name string) (*Service, bool) {
 	c.mu.RLock()

@@ -1,0 +1,151 @@
+package structural
+
+import (
+	"math"
+	"testing"
+)
+
+// snapshotSystem builds a 1-DOF bilinear system whose trajectory exercises
+// yield excursions (so resumed state must carry real hysteretic history).
+func snapshotSystem(el Element) *System {
+	return &System{
+		M: Diagonal([]float64{100}),
+		K: Diagonal([]float64{el.InitialStiffness()}),
+		R: func(d []float64) ([]float64, error) {
+			return []float64{el.Restore(d[0])}, nil
+		},
+	}
+}
+
+func snapshotGround(step int) float64 {
+	return 6.0 * math.Sin(2*math.Pi*1.2*float64(step)*0.01)
+}
+
+// runSplit runs `fresh` for total steps, snapshotting at cut, then resumes a
+// second integrator (built by mk) from the snapshot and finishes the run.
+// Returns (reference history, stitched resumed history tail).
+func runSplit(t *testing.T, mk func() Resumable, total, cut int) (*History, []State) {
+	t.Helper()
+
+	// Reference: uninterrupted run over one element instance.
+	refEl := NewBilinear(2000, 900, 0.05)
+	ref, err := Run(snapshotSystem(refEl), mk(), RunOptions{Dt: 0.01, Steps: total, Ground: snapshotGround})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First half on a second element instance, snapshot at the cut.
+	el := NewBilinear(2000, 900, 0.05)
+	sys := snapshotSystem(el)
+	first := mk()
+	st, err := first.Init(sys, 0.01, make([]float64, 1), make([]float64, 1),
+		GroundLoad(sys.M, Ones(1), snapshotGround(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 1; s <= cut; s++ {
+		if st, err = first.Step(GroundLoad(sys.M, Ones(1), snapshotGround(s))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Step != cut {
+		t.Fatalf("cut at step %d, want %d", st.Step, cut)
+	}
+	snap, err := first.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume a fresh integrator and finish. The element keeps its state (in
+	// a distributed run it lives at the site, which did not restart).
+	second := mk()
+	if err := second.Resume(sys, 0.01, snap); err != nil {
+		t.Fatal(err)
+	}
+	var tail []State
+	for s := cut + 1; s <= total; s++ {
+		st, err := second.Step(GroundLoad(sys.M, Ones(1), snapshotGround(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, st)
+	}
+	return ref, tail
+}
+
+func sameState(a, b State) bool {
+	if a.Step != b.Step || a.T != b.T {
+		return false
+	}
+	for i := range a.D {
+		if a.D[i] != b.D[i] || a.V[i] != b.V[i] || a.A[i] != b.A[i] || a.F[i] != b.F[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotResumeBitIdentical(t *testing.T) {
+	// The Resumable contract: a resumed integrator continues the exact
+	// trajectory — bit-identical, not merely close — because the checkpoint
+	// round-trips float64 through JSON exactly.
+	cases := []struct {
+		name string
+		mk   func() Resumable
+	}{
+		{"explicit-newmark", func() Resumable { return NewExplicitNewmark() }},
+		{"alpha-os", func() Resumable {
+			in, err := NewAlphaOS(-0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return in
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, tail := runSplit(t, tc.mk, 120, 47)
+			if len(tail) != 120-47 {
+				t.Fatalf("resumed %d steps, want %d", len(tail), 120-47)
+			}
+			for _, st := range tail {
+				if !sameState(ref.States[st.Step], st) {
+					t.Fatalf("step %d diverged after resume:\nref %+v\ngot %+v",
+						st.Step, ref.States[st.Step], st)
+				}
+			}
+		})
+	}
+}
+
+func TestResumeRejectsMisuse(t *testing.T) {
+	el := NewBilinear(2000, 900, 0.05)
+	sys := snapshotSystem(el)
+	in := NewExplicitNewmark()
+	if _, err := in.Snapshot(); err == nil {
+		t.Fatal("snapshot of uninitialized integrator should fail")
+	}
+	if _, err := in.Init(sys, 0.01, []float64{0}, []float64{0}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := in.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Resume(sys, 0.01, snap); err == nil {
+		t.Fatal("resume of an initialized integrator should fail")
+	}
+	alt, err := NewAlphaOS(-0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alt.Resume(sys, 0.01, snap); err == nil {
+		t.Fatal("resume across schemes should fail")
+	}
+	if err := NewExplicitNewmark().Resume(sys, 0, snap); err == nil {
+		t.Fatal("resume with non-positive dt should fail")
+	}
+	if err := NewExplicitNewmark().Resume(sys, 0.01, []byte("{")); err == nil {
+		t.Fatal("resume from corrupt snapshot should fail")
+	}
+}
