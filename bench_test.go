@@ -9,6 +9,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 
 	"neesgrid/internal/collab"
 	"neesgrid/internal/control"
+	"neesgrid/internal/coord"
 	"neesgrid/internal/core"
 	"neesgrid/internal/daq"
 	"neesgrid/internal/faultnet"
@@ -620,4 +623,79 @@ func BenchmarkE10StreamingBatch(b *testing.B) {
 	published, dropped := hub.Stats()
 	b.ReportMetric(float64(dropped)/float64(published), "drop-ratio")
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// wanCoordSite builds one NTCP site behind the emulated WAN (5 ms one-way
+// + jitter) on a persistent pinned connection, bound as a coordinator site.
+func wanCoordSite(b *testing.B) coord.Site {
+	b.Helper()
+	ca, err := gsi.NewAuthority("/O=NEES/CN=CA", time.Hour)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := gsi.NewTrustStore(ca.Cert)
+	serverCred, _ := ca.Issue("/O=NEES/CN=site", time.Hour)
+	clientCred, _ := ca.Issue("/O=NEES/CN=coord", time.Hour)
+	gm := gsi.NewGridmap(map[string]string{"/O=NEES/CN=coord": "coord"})
+	cont := ogsi.NewContainer(serverCred, trust, gm)
+	plug := &core.SubstructurePlugin{Point: "drift", NDOF: 1,
+		Apply: func(d []float64) ([]float64, error) { return []float64{1000 * d[0]}, nil }}
+	srv := core.NewServer(plug, nil, core.ServerOptions{})
+	cont.AddService(srv.Service())
+	addr, err := cont.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = cont.Stop(ctx)
+	})
+	og := ogsi.NewClient("http://"+addr, clientCred, trust)
+	// Deterministic 5 ms one-way, no jitter: the pipelined benchmark gates
+	// an ABSOLUTE ns/op ceiling (max_ns_op in BENCH_ntcp.json), and seeded
+	// jitter would add ~0.5 ms of by-construction noise to a hard target.
+	in := faultnet.NewInjector(faultnet.Profile{Latency: 5 * time.Millisecond})
+	og.HTTP = &http.Client{Transport: faultnet.NewTransportOver(in, ogsi.NewPinnedTransport(2))}
+	return coord.Site{
+		Name:         "site",
+		Client:       core.NewClient(og, core.DefaultRetry),
+		ControlPoint: "drift",
+		DOFs:         []int{0},
+	}
+}
+
+// BenchmarkE8WANPipelined measures one coordinator step over the emulated
+// WAN under the pipelined protocol: execute(N) and propose(N+1) ride one
+// batched signed envelope on a persistent connection, so the steady-state
+// step pays the injected WAN latency once — versus the ~2.5 round trips of
+// the classic propose/execute barriers (BenchmarkE8NtcpLatencyWAN).
+func BenchmarkE8WANPipelined(b *testing.B) {
+	site := wanCoordSite(b)
+	cfg := coord.Config{
+		M:     structural.Diagonal([]float64{100}),
+		K:     structural.Diagonal([]float64{1000}),
+		Dt:    0.01,
+		Steps: b.N,
+		// Gentle motion: predictor error |a|·dt² stays inside the 1 mm
+		// speculation tolerance, so steady state is all hit steps.
+		Ground:   func(step int) float64 { return 0.5 * math.Sin(0.03*float64(step)) },
+		RunID:    "pipe-bench",
+		Pipeline: true,
+	}
+	c, err := coord.New(cfg, site)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	_, report, err := c.Run(context.Background())
+	if err != nil || !report.Completed {
+		b.Fatalf("report = %+v, %v", report, err)
+	}
+	b.StopTimer()
+	hits := report.Telemetry.Counters["coord.pipeline.hits"]
+	if b.N > 2 && hits == 0 {
+		b.Fatal("pipeline never hit: the benchmark is not measuring the speculative path")
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/step")
 }

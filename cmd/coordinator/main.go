@@ -229,9 +229,15 @@ func run() int {
 			fmt.Printf("coordinator: step latency p50=%s p95=%s p99=%s\n",
 				seconds(sl.P50), seconds(sl.P95), seconds(sl.P99))
 		}
+		// Successful calls only — failed attempts are kept apart in
+		// ntcp.client.failed_rtt.seconds so they cannot skew the percentiles.
 		if rtt, ok := report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
 			fmt.Printf("coordinator: NTCP rtt p50=%s p95=%s p99=%s over %d calls\n",
 				seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
+		}
+		if frtt, ok := report.Telemetry.Histograms["ntcp.client.failed_rtt.seconds"]; ok && frtt.Count > 0 {
+			fmt.Printf("coordinator: NTCP failed rtt p50=%s p95=%s p99=%s over %d calls\n",
+				seconds(frtt.P50), seconds(frtt.P95), seconds(frtt.P99), frtt.Count)
 		}
 		if runErr != nil {
 			if ctx.Err() != nil {

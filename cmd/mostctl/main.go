@@ -315,9 +315,16 @@ func printRunTelemetry(exp *most.Experiment, res *most.Results) {
 		fmt.Printf("mostctl: step latency  p50=%s p95=%s p99=%s (n=%d)\n",
 			seconds(sl.P50), seconds(sl.P95), seconds(sl.P99), sl.Count)
 	}
+	// ntcp.client.rtt.seconds observes successful calls only; failed
+	// attempts (timeouts, injected faults) land in failed_rtt so WAN
+	// outages cannot skew the latency percentiles.
 	if rtt, ok := res.Report.Telemetry.Histograms["ntcp.client.rtt.seconds"]; ok && rtt.Count > 0 {
 		fmt.Printf("mostctl: NTCP rtt      p50=%s p95=%s p99=%s (n=%d)\n",
 			seconds(rtt.P50), seconds(rtt.P95), seconds(rtt.P99), rtt.Count)
+	}
+	if frtt, ok := res.Report.Telemetry.Histograms["ntcp.client.failed_rtt.seconds"]; ok && frtt.Count > 0 {
+		fmt.Printf("mostctl: NTCP failed rtt p50=%s p95=%s p99=%s (n=%d)\n",
+			seconds(frtt.P50), seconds(frtt.P95), seconds(frtt.P99), frtt.Count)
 	}
 	for _, site := range exp.Sites {
 		snap := site.Telemetry.Snapshot()

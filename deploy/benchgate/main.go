@@ -28,6 +28,11 @@ import (
 type benchResult struct {
 	Benchmark string   `json:"benchmark"`
 	After     *float64 `json:"after_ns_op"`
+	// Max is an optional absolute ns/op ceiling: unlike the relative
+	// regression threshold, it fails the gate whenever the measurement
+	// exceeds it — used for targets the design promises outright (e.g.
+	// "a pipelined WAN step stays under 7 ms").
+	Max *float64 `json:"max_ns_op,omitempty"`
 }
 
 type benchFile struct {
@@ -54,7 +59,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.15, "max allowed slowdown vs baseline (0.15 = +15%)")
 	flag.Parse()
 
-	baseline, err := loadBaseline(*baselinePath)
+	baseline, ceilings, err := loadBaseline(*baselinePath)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -98,6 +103,11 @@ func main() {
 			}
 			fmt.Printf("%-32s %14.0f %14.0f %9s\n", m.name, base, m.nsOp, verdict)
 		}
+		if max, ok := ceilings[m.name]; ok && m.nsOp > max {
+			fmt.Printf("%-32s exceeds absolute ceiling: %.0f ns/op > max %.0f ns/op\n",
+				m.name, m.nsOp, max)
+			failed++
+		}
 	}
 	if failed > 0 {
 		fatal("%d benchmark(s) regressed more than %.0f%% vs %s",
@@ -107,28 +117,33 @@ func main() {
 		len(measured), *threshold*100)
 }
 
-// loadBaseline flattens the baseline file into name -> latest after_ns_op.
-func loadBaseline(path string) (map[string]float64, error) {
+// loadBaseline flattens the baseline file into name -> latest after_ns_op,
+// plus name -> latest absolute ns/op ceiling for entries that declare one.
+func loadBaseline(path string) (map[string]float64, map[string]float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("baseline: %w", err)
+		return nil, nil, fmt.Errorf("baseline: %w", err)
 	}
 	var bf benchFile
 	if err := json.Unmarshal(data, &bf); err != nil {
-		return nil, fmt.Errorf("baseline %s: %w", path, err)
+		return nil, nil, fmt.Errorf("baseline %s: %w", path, err)
 	}
 	base := make(map[string]float64)
+	ceilings := make(map[string]float64)
 	for _, set := range [][]benchResult{bf.Results, bf.Runtime.Results, bf.CI.Results} {
 		for _, r := range set {
 			if r.After != nil && *r.After > 0 {
 				base[r.Benchmark] = *r.After
 			}
+			if r.Max != nil && *r.Max > 0 {
+				ceilings[r.Benchmark] = *r.Max
+			}
 		}
 	}
 	if len(base) == 0 {
-		return nil, fmt.Errorf("baseline %s holds no usable ns/op entries", path)
+		return nil, nil, fmt.Errorf("baseline %s holds no usable ns/op entries", path)
 	}
-	return base, nil
+	return base, ceilings, nil
 }
 
 type measurement struct {

@@ -12,8 +12,9 @@
 #   test   - full suite under the race detector
 #   bench  - E8/E10 hot-path smoke gated against BENCH_ntcp.json (deploy/benchgate)
 #   smoke  - trace round-trip + graceful-shutdown end-to-end smokes
-#   chaos  - step-1493 and partition scenarios, each run twice; the two
-#            verdict reports must be byte-identical (determinism gate)
+#   chaos  - step-1493 (classic and pipelined lanes) and partition
+#            scenarios, each run twice; the two verdict reports must be
+#            byte-identical (determinism gate)
 #
 # Every stage is timed; a summary table prints at the end. The pipeline
 # stops at the first failing stage.
@@ -66,7 +67,7 @@ stage_smoke() {
 stage_chaos() {
     out=$(mktemp -d) || return 1
     rc=0
-    for sc in step-1493 partition; do
+    for sc in step-1493 step-1493-pipelined partition; do
         file="deploy/scenarios/$sc.json"
         echo "-- scenario $sc: run 1 --"
         if ! go run ./cmd/mostctl chaos -scenario "$file" -out "$out/$sc-1.json" >/dev/null; then

@@ -103,6 +103,10 @@ type Scenario struct {
 	// MaxRestarts bounds coordinator incarnations (default 8). A scenario
 	// whose faults outlast the budget gets Completed=false, not an error.
 	MaxRestarts int `json:"max_restarts,omitempty"`
+	// Pipeline runs the coordinator with the pipelined stepping protocol
+	// (speculative execute+propose batches) — the lane that proves
+	// speculation survives the scenario's faults.
+	Pipeline bool `json:"pipeline,omitempty"`
 	// WAN optionally overrides every site's network profile.
 	WAN *WANSpec `json:"wan,omitempty"`
 	// Faults is the schedule.
@@ -158,6 +162,7 @@ func (sc *Scenario) Spec() (most.Spec, error) {
 		return spec, fmt.Errorf("chaos: unknown topology %q", sc.Topology)
 	}
 	spec.Faults = nil
+	spec.Pipeline = sc.Pipeline
 	if sc.Steps > 0 {
 		spec.Steps = sc.Steps
 	}

@@ -1,0 +1,116 @@
+package coord
+
+import (
+	"context"
+	"testing"
+
+	"neesgrid/internal/core"
+	"neesgrid/internal/structural"
+)
+
+// Regression: a transport failure during phase 1 used to abort the step
+// WITHOUT cancelling the proposals the other sites had already accepted —
+// the cancel sweep only ran on an explicit policy rejection. The orphaned
+// transactions then pinned server state (and, after a resume, replayed as
+// stale accepts). Any phase-1 abort must cancel the accepted siblings.
+func TestTransportAbortCancelsAcceptedSiblings(t *testing.T) {
+	h := newHarness(t, []structural.Element{
+		structural.NewLinearElastic(1000),
+		structural.NewLinearElastic(1000),
+	}, nil)
+	cfg := sdofConfig(100, 2000, 30)
+	cfg.OnStep = func(st structural.State) {
+		if st.Step == 9 {
+			// Site 0's next call — its step-10 propose — fails.
+			h.sites[0].injector.FailNext(1)
+		}
+	}
+	c, err := New(cfg, h.coordSites(core.NoRetry)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := c.Run(context.Background())
+	if err == nil {
+		t.Fatal("run should abort on the unretried transport failure")
+	}
+	if IsRejection(err) {
+		t.Fatalf("err = %v: a transport abort is not a rejection", err)
+	}
+	if report.FailedStep != 10 {
+		t.Fatalf("failed at step %d, want 10", report.FailedStep)
+	}
+	// Site 1 accepted its step-10 proposal; the abort must have cancelled it.
+	if got := h.sites[1].server.Stats().Cancelled; got == 0 {
+		t.Fatalf("sibling cancellations = %d, want > 0 (orphaned proposal)", got)
+	}
+}
+
+// Sibling cancels must be delivered even when the step context that carried
+// the abort is already cancelled — cancellation is cleanup, and cleanup on
+// a dead context was exactly how transactions leaked.
+func TestCancelAcceptedSurvivesCancelledContext(t *testing.T) {
+	h := newHarness(t, []structural.Element{structural.NewLinearElastic(1000)}, nil)
+	sites := h.coordSites(core.NoRetry)
+	c, err := New(sdofConfig(100, 1000, 10), sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sites[0].Client.Propose(context.Background(), &core.Proposal{
+		Name: "test/orphan/uiuc",
+		Actions: []core.Action{{
+			ControlPoint:  "drift",
+			Displacements: []float64{0.001},
+		}},
+	})
+	if err != nil || rec.State != core.StateAccepted {
+		t.Fatalf("propose = %+v, %v", rec, err)
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.cancelAccepted(dead,
+		[]siteOutcome{{site: 0, rec: rec}},
+		[]string{rec.Name})
+
+	if got := h.sites[0].server.Stats().Cancelled; got != 1 {
+		t.Fatalf("cancelled = %d, want 1 despite the dead step context", got)
+	}
+}
+
+// After an abort cancelled a step's proposals, a resumed coordinator
+// re-proposing the same deterministic name gets the CANCELLED record
+// replayed from the dedupe table. The propose path must walk to a revision
+// suffix rather than spin on (or die of) the terminal replay.
+func TestProposeWalksPastCancelledReplays(t *testing.T) {
+	h := newHarness(t, []structural.Element{structural.NewLinearElastic(1000)}, nil)
+	sites := h.coordSites(core.DefaultRetry)
+	ctx := context.Background()
+
+	// Leave a cancelled husk of step 1's transaction behind, as a dead
+	// incarnation's abort sweep would.
+	cl := sites[0].Client
+	if _, err := cl.Propose(ctx, &core.Proposal{
+		Name: "test/step-1/uiuc",
+		Actions: []core.Action{{
+			ControlPoint:  "drift",
+			Displacements: []float64{0.0001},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Cancel(ctx, "test/step-1/uiuc"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := New(sdofConfig(100, 1000, 20), sites...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := c.Run(ctx)
+	if err != nil || !report.Completed {
+		t.Fatalf("run = %+v, %v", report, err)
+	}
+	if got := report.Telemetry.Counters["coord.proposals.revised"]; got == 0 {
+		t.Fatal("no revision recorded: step 1 should have walked past the cancelled replay")
+	}
+}

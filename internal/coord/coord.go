@@ -73,6 +73,26 @@ type Config struct {
 	// executed theirs — so it is appropriate for rehearsed near-real-time
 	// experiments whose proposals are known to satisfy site policy.
 	FastPath bool
+	// Pipeline overlaps consecutive steps (the §5 "ongoing work" protocol):
+	// once step N's displacement is known, the coordinator fuses execute(N)
+	// with a speculative propose(N+1) at the integrator's predicted
+	// displacement into one batched signed envelope per site, so the
+	// steady-state WAN cost of a step is one one-way-latency-bound round
+	// trip instead of ~2.5 RTTs. When step N's forces move the trajectory
+	// beyond PipelineTolerance, the speculative proposals are cancelled and
+	// step N+1 is re-proposed at its actual displacement. Unlike FastPath,
+	// the cross-site accept barrier is preserved: a proposal is never
+	// executed before every site has accepted it. Defaults off so the
+	// baseline E8 numbers stay comparable. Mutually exclusive with
+	// FastPath.
+	Pipeline bool
+	// PipelineTolerance is the per-DOF displacement error (model units —
+	// metres for MOST) within which a speculatively accepted step equals
+	// the actual one. Zero selects 1e-3 m: on the order of actuator
+	// positioning accuracy, and comfortably above the ~|a|·dt² error of
+	// the linear predictor at MOST's dt = 0.01 s. Negative forces a
+	// rollback every step (a determinism-debugging aid).
+	PipelineTolerance float64
 	// Telemetry receives per-step wall-clock histograms and step events.
 	// Share it with the sites' NTCP clients (NewClientWithTelemetry) and the
 	// run report's summary covers round-trip latency too. Nil allocates a
@@ -143,6 +163,10 @@ type Coordinator struct {
 	sites  []Site
 	tel    *telemetry.Registry
 	tracer *trace.Tracer
+	// pipe carries the speculative-proposal state between consecutive
+	// restore calls when Pipeline is on. Run resets it at start; the Run
+	// loop is single-goroutine so no locking is needed.
+	pipe pipeState
 }
 
 // New validates the topology and returns a coordinator.
@@ -181,6 +205,12 @@ func New(cfg Config, sites ...Site) (*Coordinator, error) {
 	if cfg.StepTimeout <= 0 {
 		cfg.StepTimeout = 60 * time.Second
 	}
+	if cfg.Pipeline && cfg.FastPath {
+		return nil, fmt.Errorf("coord: Pipeline and FastPath are mutually exclusive")
+	}
+	if cfg.PipelineTolerance == 0 {
+		cfg.PipelineTolerance = defaultPipelineTolerance
+	}
 	if cfg.RunID == "" {
 		cfg.RunID = "run"
 	}
@@ -218,6 +248,76 @@ type stepError struct {
 func (e *stepError) Error() string { return fmt.Sprintf("step %d: %v", e.step, e.err) }
 func (e *stepError) Unwrap() error { return e.err }
 
+// maxProposalRevisions bounds how many cancelled incarnations of one
+// transaction the coordinator will walk past before giving up. Each
+// revision corresponds to one aborted step attempt in an earlier
+// incarnation, so the bound only matters when something is wedged.
+const maxProposalRevisions = 16
+
+// cancelDeliveryTimeout bounds abort-path cancels. They run on a context
+// detached from the step (which is usually being torn down, possibly
+// because its deadline already expired), so they need their own leash.
+const cancelDeliveryTimeout = 10 * time.Second
+
+// revisionName returns the deterministic name of revision rev of a
+// transaction (revision 0 is the base name itself).
+func revisionName(base string, rev int) string {
+	if rev == 0 {
+		return base
+	}
+	return base + "/r" + strconv.Itoa(rev)
+}
+
+// proposeRevised proposes p, walking past cancelled incarnations of the
+// same transaction. A propose replayed against the dedupe table returns
+// whatever record the name resolved to — including one a previous
+// incarnation cancelled on its abort path. Executing a cancelled
+// transaction is a conflict, so the coordinator deterministically bumps a
+// revision suffix (base, base/r1, base/r2, …) until it reaches a live or
+// fresh transaction. Every incarnation replays the same walk, so names
+// stay a pure function of the fault history. On success p.Name holds the
+// name actually proposed (the one execute and cancel must use).
+func (c *Coordinator) proposeRevised(ctx context.Context, cl *core.Client, p *core.Proposal) (*core.Record, error) {
+	base := p.Name
+	for rev := 0; rev <= maxProposalRevisions; rev++ {
+		p.Name = revisionName(base, rev)
+		rec, err := cl.Propose(ctx, p)
+		if err != nil || rec.State != core.StateCancelled {
+			return rec, err
+		}
+		c.tel.Counter("coord.proposals.revised").Inc()
+	}
+	return nil, fmt.Errorf("transaction %s: %d revisions all cancelled", base, maxProposalRevisions)
+}
+
+// cancelAccepted cancels every accepted transaction in outcomes,
+// concurrently (the abort path should cost one round trip, not
+// O(sites × RTT)) and on a context that survives the step context:
+// the step is being torn down — possibly because its deadline already
+// expired — and a cancel that is never delivered leaves an orphaned
+// accepted transaction pinning server state.
+func (c *Coordinator) cancelAccepted(ctx context.Context, outcomes []siteOutcome, names []string) {
+	cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), cancelDeliveryTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.err != nil || o.rec == nil || o.rec.State != core.StateAccepted {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sctx, sp := c.tracer.Start(cctx, "coord.cancel", trace.KindInternal)
+			sp.SetAttr("site", c.sites[i].Name)
+			_, err := c.sites[i].Client.Cancel(sctx, names[i])
+			sp.SetError(err)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+}
+
 // restore performs one distributed restoring-force evaluation: propose to
 // every site, and if all accept, execute everywhere and gather forces.
 // On any rejection the sibling transactions are cancelled (the negotiation
@@ -229,6 +329,9 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 
 	if c.cfg.FastPath {
 		return c.restoreFast(stepCtx, *step, d, n)
+	}
+	if c.cfg.Pipeline {
+		return c.restorePipelined(stepCtx, *step, d, n)
 	}
 
 	// Phase 1: propose everywhere in parallel.
@@ -252,7 +355,7 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 			defer wg.Done()
 			pctx, sp := c.tracer.Start(stepCtx, "coord.propose", trace.KindInternal)
 			sp.SetAttr("site", c.sites[i].Name)
-			rec, err := c.sites[i].Client.Propose(pctx, proposals[i])
+			rec, err := c.proposeRevised(pctx, c.sites[i].Client, proposals[i])
 			sp.SetError(err)
 			sp.End()
 			outcomes[i] = siteOutcome{site: i, rec: rec, err: err}
@@ -260,28 +363,35 @@ func (c *Coordinator) restore(ctx context.Context, step *int, d []float64) ([]fl
 	}
 	wg.Wait()
 
+	// names[i] is the transaction name site i actually holds — the base
+	// name or a revision — and the one phase 2 and the abort path must use.
+	names := make([]string, len(c.sites))
+	for i := range proposals {
+		names[i] = proposals[i].Name
+	}
+
 	var rejected *siteOutcome
+	var abortErr error
 	for i := range outcomes {
 		o := &outcomes[i]
-		if o.err != nil {
-			return nil, fmt.Errorf("site %s propose: %w", c.sites[o.site].Name, o.err)
+		if o.err != nil && abortErr == nil {
+			abortErr = fmt.Errorf("site %s propose: %w", c.sites[o.site].Name, o.err)
 		}
-		if o.rec.State == core.StateRejected && rejected == nil {
+		if o.err == nil && o.rec.State == core.StateRejected && rejected == nil {
 			rejected = o
 		}
 	}
-	if rejected != nil {
-		// Cancel accepted siblings before reporting the rejection.
-		for i := range outcomes {
-			if i != rejected.site && outcomes[i].rec.State == core.StateAccepted {
-				cctx, sp := c.tracer.Start(stepCtx, "coord.cancel", trace.KindInternal)
-				sp.SetAttr("site", c.sites[i].Name)
-				_, _ = c.sites[i].Client.Cancel(cctx, proposals[i].Name)
-				sp.End()
-			}
+	if rejected != nil || abortErr != nil {
+		// Any phase-1 abort — rejection or transport failure — must cancel
+		// the siblings that already accepted, or their transactions pin
+		// server-side state and collide with this step's replay after a
+		// resume.
+		c.cancelAccepted(stepCtx, outcomes, names)
+		if rejected != nil {
+			return nil, fmt.Errorf("site %s rejected proposal: %s: %w",
+				c.sites[rejected.site].Name, rejected.rec.Error, core.ErrRejected)
 		}
-		return nil, fmt.Errorf("site %s rejected proposal: %s: %w",
-			c.sites[rejected.site].Name, rejected.rec.Error, core.ErrRejected)
+		return nil, abortErr
 	}
 
 	// Phase 2: execute everywhere in parallel.
@@ -378,6 +488,10 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		iota = structural.Ones(n)
 	}
 	step := 0
+	// A fresh run (or a resume) starts with no speculation in flight: any
+	// speculative transaction a previous incarnation left behind is walked
+	// past by the revision/mismatch guards in the propose path.
+	c.pipe = pipeState{}
 	// stepCtx carries the current step's root span into the restoring-force
 	// evaluation the integrator triggers; the Run loop (single goroutine)
 	// reassigns it each step.

@@ -89,6 +89,7 @@ type Client struct {
 	retries   *telemetry.Counter
 	recovered *telemetry.Counter
 	rtt       *telemetry.Histogram
+	failedRTT *telemetry.Histogram
 }
 
 // NewClient wraps an OGSI client as an NTCP client with a private telemetry
@@ -110,6 +111,7 @@ func NewClientWithTelemetry(og *ogsi.Client, retry RetryPolicy, reg *telemetry.R
 		retries:     reg.Counter("ntcp.client.retries"),
 		recovered:   reg.Counter("ntcp.client.recovered"),
 		rtt:         reg.Histogram("ntcp.client.rtt.seconds"),
+		failedRTT:   reg.Histogram("ntcp.client.failed_rtt.seconds"),
 	}
 }
 
@@ -156,14 +158,18 @@ func (c *Client) call(ctx context.Context, op string, params any) (*Record, erro
 		var rec Record
 		start := time.Now()
 		err := c.og.Call(ctx, c.ServiceName, op, params, &rec)
-		c.rtt.ObserveDuration(time.Since(start))
 		if err == nil {
+			// The round-trip histogram is success-only: a retry storm's
+			// instantly-failing attempts would otherwise drag p99 for the
+			// round trips that actually completed.
+			c.rtt.ObserveDuration(time.Since(start))
 			if try > 0 {
 				c.recovered.Inc()
 				c.tel.Event("ntcp-client", "recovered", map[string]any{"op": op, "attempt": try + 1})
 			}
 			return &rec, nil
 		}
+		c.failedRTT.ObserveDuration(time.Since(start))
 		lastErr = err
 		if !transient(err) || ctx.Err() != nil {
 			return nil, err

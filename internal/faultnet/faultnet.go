@@ -227,6 +227,16 @@ func NewTransport(in *Injector) *Transport {
 	return &Transport{Injector: in, Inner: http.DefaultTransport}
 }
 
+// NewTransportOver builds a faulty transport over a caller-supplied inner
+// round tripper — the composition the pipelined coordinator uses to put a
+// pinned keep-alive site connection behind the injected WAN. Latency and
+// failures are charged once per round trip (per signed envelope), so a
+// batched envelope carrying several operations pays the WAN exactly once —
+// the property the E8 pipelined benchmark measures.
+func NewTransportOver(in *Injector, inner http.RoundTripper) *Transport {
+	return &Transport{Injector: in, Inner: inner}
+}
+
 // RoundTrip applies delay and scheduled failures before delegating. When
 // the request context carries a live trace span (the ogsi client span),
 // the injected delay and any injected failure are annotated onto it —

@@ -51,6 +51,12 @@ type Spec struct {
 	// FastPath uses the single-round-trip NTCP operation per site per
 	// step (the §5 performance work).
 	FastPath bool
+	// Pipeline overlaps adjacent steps: execute(N) and a speculative
+	// propose(N+1) travel in one batched signed envelope per site, with a
+	// cancel-and-repropose rollback when the prediction misses (the other
+	// §5 direction; see coord.Config.Pipeline). Mutually exclusive with
+	// FastPath.
+	Pipeline bool
 	// Archive, when non-nil, wires each site's DAQ through a spool
 	// directory into the repository while the run is in progress — the
 	// §3.2 incremental-archival path (requires DAQEvery > 0).
@@ -279,6 +285,7 @@ func (e *Experiment) Run(ctx context.Context) (*Results, error) {
 		Ground:     ground.At,
 		RunID:      spec.Name,
 		FastPath:   spec.FastPath,
+		Pipeline:   spec.Pipeline,
 		Telemetry:  e.Telemetry,
 		Tracer:     e.Tracer,
 		Checkpoint: spec.Checkpoint,

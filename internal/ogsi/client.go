@@ -76,7 +76,17 @@ func IsRemoteCode(err error, code string) bool {
 // Transport-level failures come back as ordinary errors (retryable);
 // service faults come back as *RemoteError (not retryable unless the code
 // says so).
-func (c *Client) Call(ctx context.Context, service, op string, params, out any) (err error) {
+func (c *Client) Call(ctx context.Context, service, op string, params, out any) error {
+	rawParams, err := json.Marshal(params)
+	if err != nil {
+		return fmt.Errorf("ogsi: marshal params: %w", err)
+	}
+	return c.callRaw(ctx, service, op, rawParams, out)
+}
+
+// callRaw is Call with the params already encoded: one signed envelope out,
+// one verified envelope back.
+func (c *Client) callRaw(ctx context.Context, service, op string, rawParams []byte, out any) (err error) {
 	ctx, span := c.Tracer.Start(ctx, service+"."+op, trace.KindClient)
 	if span != nil {
 		span.SetAttr("peer.url", c.BaseURL)
@@ -89,10 +99,6 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 	// tracing here, else whatever span the caller's context already holds.
 	traceparent := trace.SpanContextFromContext(ctx).Traceparent()
 
-	rawParams, err := json.Marshal(params)
-	if err != nil {
-		return fmt.Errorf("ogsi: marshal params: %w", err)
-	}
 	// Single-pass encoding into pooled buffers: the request wire form is
 	// appended directly (no intermediate request struct marshal), signed,
 	// and wrapped in an envelope whose chain encoding is memoized on the
@@ -161,6 +167,77 @@ func (c *Client) Call(ctx context.Context, service, op string, params, out any) 
 		}
 	}
 	return nil
+}
+
+// BatchOp is one operation of a CallBatch.
+type BatchOp struct {
+	Op     string
+	Params any
+}
+
+// BatchResult is one operation's outcome within a batch. The envelope-level
+// error channel (transport, authentication) stays on CallBatch itself;
+// per-op service faults land here.
+type BatchResult struct {
+	OK     bool            `json:"ok"`
+	Code   string          `json:"code,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Err returns the operation's service fault as a *RemoteError, or nil when
+// the operation succeeded — the same contract a lone Call has.
+func (r *BatchResult) Err() error {
+	if r.OK {
+		return nil
+	}
+	return &RemoteError{Code: r.Code, Message: r.Error}
+}
+
+// Decode unmarshals the operation's result into out (nil discards),
+// returning the operation's fault if it had one.
+func (r *BatchResult) Decode(out any) error {
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if out == nil || len(r.Result) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(r.Result, out); err != nil {
+		return fmt.Errorf("ogsi: unmarshal batch result: %w", err)
+	}
+	return nil
+}
+
+// CallBatch invokes several operations on one service in a single signed
+// envelope over a single round trip — the batched frame the pipelined
+// coordinator uses to fuse execute(N) with propose(N+1). The container
+// dispatches the items in order and replies with one result per item;
+// a per-op fault does not fail the envelope. The returned slice always has
+// len(ops) entries when err is nil.
+func (c *Client) CallBatch(ctx context.Context, service string, ops []BatchOp) ([]BatchResult, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("ogsi: empty batch")
+	}
+	raws := make([][]byte, len(ops))
+	for i := range ops {
+		raw, err := json.Marshal(ops[i].Params)
+		if err != nil {
+			return nil, fmt.Errorf("ogsi: marshal batch params[%d]: %w", i, err)
+		}
+		raws[i] = raw
+	}
+	paramsBuf := getBuf()
+	defer putBuf(paramsBuf)
+	*paramsBuf = appendBatchItemsJSON((*paramsBuf)[:0], ops, raws)
+	var results []BatchResult
+	if err := c.callRaw(ctx, service, "batch", *paramsBuf, &results); err != nil {
+		return nil, err
+	}
+	if len(results) != len(ops) {
+		return nil, fmt.Errorf("ogsi: batch returned %d results for %d ops", len(results), len(ops))
+	}
+	return results, nil
 }
 
 // FindServiceData fetches SDEs from a remote service (all of them when no

@@ -38,6 +38,33 @@ var DefaultHTTPClient = &http.Client{
 	Timeout:   60 * time.Second,
 }
 
+// NewPinnedTransport returns a dedicated transport for one long-lived site
+// connection: up to n keep-alive connections that never idle out, pinned to
+// the single host a coordinator-side client talks to, so no step after the
+// first ever pays TCP (or TLS) setup or queues behind another host's
+// traffic on a shared pool. Reconnect after a drop is the transport's
+// ordinary redial on the next request; the NTCP retry policy plus
+// server-side dedupe make the replayed call safe.
+func NewPinnedTransport(n int) *http.Transport {
+	if n <= 0 {
+		n = 2
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 15 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          n,
+		MaxIdleConnsPerHost:   n,
+		MaxConnsPerHost:       n,
+		IdleConnTimeout:       0, // pinned: never idle out
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
 // maxPooledBuf bounds what goes back into the pool so one oversized
 // request/response does not pin memory forever.
 const maxPooledBuf = 1 << 20
@@ -158,6 +185,42 @@ func appendRequestJSON(dst []byte, service, op string, params []byte, sent time.
 		dst = appendJSONString(dst, traceparent)
 	}
 	return append(dst, '}')
+}
+
+// appendBatchItemsJSON encodes the params of a "batch" op — the (op,
+// params) list — in one pass, byte-identical to json.Marshal of the
+// corresponding []batchItem; raws[i] must already be JSON (empty means
+// null).
+func appendBatchItemsJSON(dst []byte, ops []BatchOp, raws [][]byte) []byte {
+	dst = append(dst, '[')
+	for i := range ops {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, `{"op":`...)
+		dst = appendJSONString(dst, ops[i].Op)
+		dst = append(dst, `,"params":`...)
+		if len(raws[i]) == 0 {
+			dst = append(dst, "null"...)
+		} else {
+			dst = append(dst, raws[i]...)
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, ']')
+}
+
+// appendResponseListJSON encodes a batch's per-item responses in one pass,
+// byte-identical to json.Marshal of the []*response slice.
+func appendResponseListJSON(dst []byte, resps []*response) []byte {
+	dst = append(dst, '[')
+	for i, r := range resps {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = appendResponseJSON(dst, r)
+	}
+	return append(dst, ']')
 }
 
 // appendResponseJSON encodes the response wire form in one pass, matching

@@ -136,6 +136,19 @@ type waitParams struct {
 	TimeoutSeconds float64 `json:"timeout_seconds"`
 }
 
+// batchItem is one operation of a batched call: the op name plus its
+// already-encoded params. The client encodes these with
+// appendBatchItemsJSON; the wire forms must stay in sync.
+type batchItem struct {
+	Op     string          `json:"op"`
+	Params json.RawMessage `json:"params"`
+}
+
+// maxBatchOps bounds one batch. The coordinator fuses two ops per step;
+// the bound exists so a malformed client cannot turn one signed envelope
+// into unbounded server work.
+const maxBatchOps = 16
+
 // Container hosts services behind a GSI-secured HTTP endpoint. It is the
 // process-level unit the paper calls an "NTCP server" host: one container
 // per site, hosting that site's services.
@@ -347,6 +360,8 @@ func (c *Container) dispatchInner(ctx context.Context, caller Caller, req *reque
 			return faultResponse(Errf(CodeNotFound, "no resource %q", p.ID))
 		}
 		result = map[string]bool{"extended": true}
+	case "batch":
+		return c.runBatch(ctx, caller, req)
 	default:
 		h, ok := svc.handler(req.Op)
 		if !ok {
@@ -361,6 +376,47 @@ func (c *Container) dispatchInner(ctx context.Context, caller Caller, req *reque
 	if merr != nil {
 		return faultResponse(Errf(CodeInternal, "marshal result: %v", merr))
 	}
+	return &response{OK: true, Result: raw}
+}
+
+// runBatch executes the "batch" built-in: several operations for one
+// service carried in a single signed envelope, dispatched strictly in
+// order, with one response per item. Each item goes back through dispatch,
+// so per-op request counts, fault counters, and latency histograms keep
+// working; the batch op itself is metered like any other op by the outer
+// dispatch. A per-item fault does not fail the envelope — the caller reads
+// it from that item's response. Nested batches are rejected.
+func (c *Container) runBatch(ctx context.Context, caller Caller, req *request) *response {
+	var items []batchItem
+	if err := json.Unmarshal(req.Params, &items); err != nil {
+		return faultResponse(Errf(CodeBadRequest, "bad batch params: %v", err))
+	}
+	if len(items) == 0 {
+		return faultResponse(Errf(CodeBadRequest, "empty batch"))
+	}
+	if len(items) > maxBatchOps {
+		return faultResponse(Errf(CodeBadRequest, "batch of %d exceeds %d ops", len(items), maxBatchOps))
+	}
+	results := make([]*response, len(items))
+	for i := range items {
+		if items[i].Op == "batch" {
+			results[i] = faultResponse(Errf(CodeBadRequest, "nested batch"))
+			continue
+		}
+		sub := &request{
+			Service: req.Service,
+			Op:      items[i].Op,
+			Params:  items[i].Params,
+			Sent:    req.Sent,
+			Trace:   req.Trace,
+		}
+		results[i] = c.dispatch(ctx, caller, sub)
+	}
+	buf := getBuf()
+	defer putBuf(buf)
+	*buf = appendResponseListJSON((*buf)[:0], results)
+	raw := make(json.RawMessage, len(*buf))
+	copy(raw, *buf)
 	return &response{OK: true, Result: raw}
 }
 
