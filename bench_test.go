@@ -625,6 +625,126 @@ func BenchmarkE10StreamingBatch(b *testing.B) {
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "samples/s")
 }
 
+// benchFanOut measures NSDS delivery throughput at viewer scale across the
+// three fan-out shapes of DESIGN.md §5g, publishing DAQ-shaped blocks of
+// 32 samples to `subs` subscribers:
+//
+//   - flat: the original single-shard hub with per-sample subscriptions —
+//     every sample is one channel op per subscriber, twice (send+receive).
+//   - sharded: the sharded hub with batch subscriptions — one channel op
+//     per subscriber per block, the shared *Batch allocated once.
+//   - relay: two tiers (hub → LocalRelay → hub) with every viewer behind
+//     the relay hub; the timed region spans the full traversal.
+//
+// Viewers are drained event-loop style from the benchmark goroutine
+// (publish a block, sweep every subscriber empty) rather than by one
+// goroutine per viewer: on the single-core CI runner a per-viewer
+// goroutine costs a scheduler wake per batch (~1.7 µs), which swamps the
+// per-sample-vs-per-batch protocol cost this benchmark exists to compare —
+// and is exactly the cost the real server avoids by writing one shared
+// frame per connection instead of waking per sample. Every sample is
+// delivered (nothing drops), so deliveries/s — samples enqueued per second,
+// the capacity number the 100k case must beat flat by ≥10× per
+// BENCH_ntcp.json — is deterministic.
+func benchFanOut(b *testing.B, subs int) {
+	const batch = 32
+	fill := func(samples []nsds.Sample, i int) {
+		for j := range samples {
+			samples[j] = nsds.Sample{Channel: "uiuc.disp", T: float64(i*batch + j), Value: 0.01}
+		}
+	}
+
+	b.Run("flat", func(b *testing.B) {
+		hub := nsds.NewHubShards(1)
+		defer hub.Close()
+		chans := make([]<-chan nsds.Sample, subs)
+		for i := range chans {
+			sub, err := hub.Subscribe(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans[i] = sub.C()
+		}
+		samples := make([]nsds.Sample, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fill(samples, i)
+			hub.PublishBatch(samples)
+			for _, c := range chans {
+				for range batch {
+					<-c
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(hub.Delivered())/b.Elapsed().Seconds(), "deliveries/s")
+	})
+
+	b.Run("sharded", func(b *testing.B) {
+		hub := nsds.NewHubShards(0)
+		defer hub.Close()
+		chans := make([]<-chan *nsds.Batch, subs)
+		for i := range chans {
+			sub, err := hub.SubscribeBatches(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans[i] = sub.Batches()
+		}
+		samples := make([]nsds.Sample, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fill(samples, i)
+			hub.PublishBatch(samples)
+			for _, c := range chans {
+				<-c
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(hub.Delivered())/b.Elapsed().Seconds(), "deliveries/s")
+	})
+
+	b.Run("relay", func(b *testing.B) {
+		up := nsds.NewHub()
+		defer up.Close()
+		down := nsds.NewHub()
+		defer down.Close()
+		lr, err := nsds.NewLocalRelay(up, down, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lr.Stop()
+		chans := make([]<-chan *nsds.Batch, subs)
+		for i := range chans {
+			sub, err := down.SubscribeBatches(1, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chans[i] = sub.Batches()
+		}
+		samples := make([]nsds.Sample, batch)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fill(samples, i)
+			up.PublishBatch(samples)
+			// The blocking receive parks this goroutine until the relay
+			// forwarder has fanned the block out to the viewer tier.
+			for _, c := range chans {
+				<-c
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(down.Delivered())/b.Elapsed().Seconds(), "deliveries/s")
+	})
+}
+
+// BenchmarkE10FanOut1k: a collaboration-scale audience (1 000 viewers).
+func BenchmarkE10FanOut1k(b *testing.B) { benchFanOut(b, 1_000) }
+
+// BenchmarkE10FanOut100k: the viewer-scale target — the paper's public
+// webcast audience, two orders of magnitude past the experiment floor.
+func BenchmarkE10FanOut100k(b *testing.B) { benchFanOut(b, 100_000) }
+
 // wanCoordSite builds one NTCP site behind the emulated WAN (5 ms one-way
 // + jitter) on a persistent pinned connection, bound as a coordinator site.
 func wanCoordSite(b *testing.B) coord.Site {

@@ -12,9 +12,9 @@
 #   test   - full suite under the race detector
 #   bench  - E8/E10 hot-path smoke gated against BENCH_ntcp.json (deploy/benchgate)
 #   smoke  - trace round-trip + graceful-shutdown end-to-end smokes
-#   chaos  - step-1493 (classic and pipelined lanes) and partition
-#            scenarios, each run twice; the two verdict reports must be
-#            byte-identical (determinism gate)
+#   chaos  - step-1493 (classic, pipelined, and relay-topology lanes) and
+#            partition scenarios, each run twice; the two verdict reports
+#            must be byte-identical (determinism gate)
 #
 # Every stage is timed; a summary table prints at the end. The pipeline
 # stops at the first failing stage.
@@ -41,7 +41,10 @@ stage_bench() {
     # Fastest-of-5 at 100x against the floor recorded in the ci_baseline
     # block; >15% above the floor fails the stage. The minimum over repeats
     # is what makes a 15% gate workable on a noisy shared runner.
-    go run ./deploy/benchgate -count 5 -benchtime 100x
+    go run ./deploy/benchgate -count 5 -benchtime 100x -bench 'E8|E10Streaming' || return 1
+    # The viewer-scale fan-out benchmarks run 100k-subscriber sweeps, so
+    # they get a shorter repeat budget of their own.
+    go run ./deploy/benchgate -count 3 -benchtime 20x -bench 'E10FanOut'
 }
 
 stage_smoke() {
@@ -60,14 +63,16 @@ stage_smoke() {
 
     # Shutdown smoke: boots a two-site topology as real processes, SIGTERMs
     # them mid-step, and asserts readiness flips, exits are clean, and an
-    # in-process experiment leaves no goroutines behind.
-    go test -race -count=1 -run 'TestGracefulShutdown|TestNoGoroutineLeakAfterExperimentStop' ./internal/e2e/
+    # in-process experiment leaves no goroutines behind. The fan-out smoke
+    # drives daq → hub → TCP relay → SSE gateway end to end and checks the
+    # per-tier drop counters land in telemetry.
+    go test -race -count=1 -run 'TestGracefulShutdown|TestNoGoroutineLeakAfterExperimentStop|TestFanOutPipelineSmoke' ./internal/e2e/
 }
 
 stage_chaos() {
     out=$(mktemp -d) || return 1
     rc=0
-    for sc in step-1493 step-1493-pipelined partition; do
+    for sc in step-1493 step-1493-pipelined step-1493-relay partition; do
         file="deploy/scenarios/$sc.json"
         echo "-- scenario $sc: run 1 --"
         if ! go run ./cmd/mostctl chaos -scenario "$file" -out "$out/$sc-1.json" >/dev/null; then

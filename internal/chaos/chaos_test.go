@@ -105,6 +105,46 @@ func TestScenarioVerdictByteReplays(t *testing.T) {
 	}
 }
 
+// relayScenario targets drop storms at both stream tiers of a relayed
+// topology. Counts must land exactly — the relay forwards asynchronously,
+// so this pins the engine's drain-before-verdict step.
+func relayScenario() *Scenario {
+	return &Scenario{
+		Name: "relay-tiers", Topology: "most-sim", Steps: 60, Seed: 11,
+		RetryAttempts: 5, RetryBackoffMS: 1, Relay: true,
+		Faults: []Fault{
+			{Kind: KindNSDSDrop, Step: 15, Site: "ncsa", Count: 4, Tier: "relay"},
+			{Kind: KindNSDSDrop, Step: 30, Site: "uiuc", Count: 3, Tier: "hub"},
+			{Kind: KindNSDSDrop, Step: 40, Site: "cu", Count: 2},
+		},
+	}
+}
+
+func TestScenarioRelayTierDropsDeterministic(t *testing.T) {
+	v1, err := Run(context.Background(), relayScenario(), Options{Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Completed || v1.FinalStep != 60 {
+		t.Fatalf("verdict = %+v", v1)
+	}
+	if v1.ForcedStreamDrops != 9 {
+		t.Fatalf("forced stream drops = %d, want 9 (4 relay + 3 hub + 2 default)", v1.ForcedStreamDrops)
+	}
+	for _, f := range v1.Faults {
+		if !f.Fired {
+			t.Fatalf("fault %+v never fired", f)
+		}
+	}
+	v2, err := Run(context.Background(), relayScenario(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v1.Marshal(), v2.Marshal()) {
+		t.Fatalf("relay verdicts differ:\n--- run 1 ---\n%s--- run 2 ---\n%s", v1.Marshal(), v2.Marshal())
+	}
+}
+
 func TestScenarioRestartBudgetExhaustion(t *testing.T) {
 	// A partition far wider than the restart budget: the engine gives up
 	// with Completed=false and no error.
@@ -161,6 +201,16 @@ func TestScenarioValidation(t *testing.T) {
 		}},
 		{"delay ramp ending before it starts", func(sc *Scenario) {
 			sc.Faults = []Fault{{Kind: KindDelay, Step: 10, EndStep: 5, DelayMS: 2}}
+		}},
+		{"tier on a non-stream fault", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindDrop, Step: 1, Site: "cu", Count: 1, Tier: "hub"}}
+		}},
+		{"relay tier without the relay flag", func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: KindNSDSDrop, Step: 1, Site: "cu", Count: 1, Tier: "relay"}}
+		}},
+		{"unknown tier", func(sc *Scenario) {
+			sc.Relay = true
+			sc.Faults = []Fault{{Kind: KindNSDSDrop, Step: 1, Site: "cu", Count: 1, Tier: "gateway"}}
 		}},
 	}
 	for _, tc := range cases {

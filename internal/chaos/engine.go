@@ -25,6 +25,7 @@ type FaultOutcome struct {
 	Kind  string `json:"kind"`
 	Step  int    `json:"step"`
 	Site  string `json:"site,omitempty"`
+	Tier  string `json:"tier,omitempty"`
 	Fired bool   `json:"fired"`
 }
 
@@ -230,14 +231,26 @@ func Run(ctx context.Context, sc *Scenario, opts Options) (*Verdict, error) {
 		eng.log("resuming incarnation %d from checkpoint at step %d", inc+1, cp.Step)
 	}
 
+	// Quiesce each site's relay tier (if any) before reading drop
+	// counters: the relay forwards asynchronously, so without a drain a
+	// scheduled relay-tier drop storm could still be mid-flight and the
+	// verdict would depend on timing.
+	drainCtx, cancelDrain := context.WithTimeout(ctx, 30*time.Second)
+	defer cancelDrain()
 	for _, s := range exp.Sites {
+		if err := s.DrainStream(drainCtx); err != nil {
+			return nil, fmt.Errorf("chaos: draining %s stream: %w", s.Spec.Name, err)
+		}
 		verdict.ForcedStreamDrops += s.Hub.ForcedDrops()
+		if s.RelayHub != nil {
+			verdict.ForcedStreamDrops += s.RelayHub.ForcedDrops()
+		}
 	}
 	verdict.TrajectoryDigest = hex.EncodeToString(eng.hash.Sum(nil))
 	verdict.Faults = make([]FaultOutcome, len(sc.Faults))
 	for i, f := range sc.Faults {
 		verdict.Faults[i] = FaultOutcome{
-			Kind: f.Kind, Step: f.Step, Site: f.Site, Fired: eng.fired[i],
+			Kind: f.Kind, Step: f.Step, Site: f.Site, Tier: f.Tier, Fired: eng.fired[i],
 		}
 	}
 	return verdict, nil
@@ -307,7 +320,15 @@ func (e *engine) arm(next int) {
 			case KindKillSite:
 				s.FailNextExecute(fmt.Errorf("chaos: scheduled site-daemon kill at step %d", f.Step))
 			case KindNSDSDrop:
-				s.Hub.DropNext(f.Count)
+				// Tier-targeted drop storms: "relay" eats samples at the
+				// viewer-facing relay hub, anything else at the DAQ hub.
+				// StreamHub falls back to the DAQ hub when the topology
+				// runs without a relay tier.
+				if f.Tier == "relay" {
+					s.StreamHub().DropNext(f.Count)
+				} else {
+					s.Hub.DropNext(f.Count)
+				}
 			}
 		}
 	}

@@ -68,6 +68,10 @@ type Fault struct {
 	// DelayMS and EndStep parameterize delay ramps.
 	DelayMS int `json:"delay_ms,omitempty"`
 	EndStep int `json:"end_step,omitempty"`
+	// Tier targets an nsds-drop at one stream tier: "hub" (the DAQ hub,
+	// the default) or "relay" (the viewer-facing relay hub; requires the
+	// scenario's relay flag).
+	Tier string `json:"tier,omitempty"`
 }
 
 // WANSpec optionally overrides every site's WAN profile. Seeded jitter and
@@ -107,6 +111,9 @@ type Scenario struct {
 	// (speculative execute+propose batches) — the lane that proves
 	// speculation survives the scenario's faults.
 	Pipeline bool `json:"pipeline,omitempty"`
+	// Relay runs every site with a local NSDS relay tier between its DAQ
+	// hub and its viewers, so nsds-drop faults can target either tier.
+	Relay bool `json:"relay,omitempty"`
 	// WAN optionally overrides every site's network profile.
 	WAN *WANSpec `json:"wan,omitempty"`
 	// Faults is the schedule.
@@ -180,6 +187,7 @@ func (sc *Scenario) Spec() (most.Spec, error) {
 			spec.Sites[i].WAN.DropRate = sc.WAN.DropRate
 		}
 		spec.Sites[i].WAN.Seed = sc.Seed + int64(i)
+		spec.Sites[i].Relay = sc.Relay
 	}
 	return spec, nil
 }
@@ -209,10 +217,24 @@ func (sc *Scenario) Validate() error {
 		if f.Site != "" && !siteNames[f.Site] {
 			return fmt.Errorf("%s: unknown site %q", at, f.Site)
 		}
+		if f.Tier != "" && f.Kind != KindNSDSDrop {
+			return fmt.Errorf("%s: tier only applies to nsds-drop", at)
+		}
 		switch f.Kind {
 		case KindDrop, KindOutage, KindNSDSDrop:
 			if f.Count <= 0 {
 				return fmt.Errorf("%s: needs a positive count", at)
+			}
+			if f.Kind == KindNSDSDrop {
+				switch f.Tier {
+				case "", "hub":
+				case "relay":
+					if !sc.Relay {
+						return fmt.Errorf("%s: tier \"relay\" needs the scenario relay flag", at)
+					}
+				default:
+					return fmt.Errorf("%s: unknown tier %q (want hub or relay)", at, f.Tier)
+				}
 			}
 		case KindKillCoordinator:
 		case KindKillSite:

@@ -1,0 +1,141 @@
+package e2e
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"neesgrid/internal/daq"
+	"neesgrid/internal/nsds"
+	"neesgrid/internal/telemetry"
+)
+
+// TestFanOutPipelineSmoke drives the full viewer-scale streaming path end
+// to end: a DAQ scans into the site hub, a TCP relay subscribes upstream
+// and re-fans the stream out locally, and an SSE gateway serves the relay
+// hub to a browser-shaped client. The smoke asserts samples actually
+// traverse all four stages and that both tiers' drop counters are visible
+// in the shared telemetry registry (what nsdsd serves on /metrics and
+// mostctl metrics prints).
+func TestFanOutPipelineSmoke(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	// Stage 1+2: DAQ → site hub → TCP server.
+	hub := nsds.NewHub()
+	defer hub.Close()
+	hub.SetRetention(64)
+	hub.UseTelemetry(reg, "hub")
+	value := 0.0
+	d := daq.New("uiuc", 1)
+	if err := d.AddChannel(daq.Channel{
+		Name: "uiuc.disp", Kind: daq.LVDT, Units: "m",
+		Read: func() float64 { return value },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d.AttachHub(hub)
+	srv := nsds.NewServer(hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Stage 3: relay tier over the wire.
+	relay := nsds.NewRelay(nsds.RelayConfig{Upstream: addr, Retention: 64, Telemetry: reg})
+	if err := relay.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = relay.Stop(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for relay.Healthy() != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("relay never connected upstream")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Stage 4: SSE gateway over the relay hub.
+	gw := httptest.NewServer(nsds.NewGateway(relay.Hub()))
+	defer gw.Close()
+	resp, err := http.Get(gw.URL + "/stream?catchup=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	for relay.Hub().Subscribers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE viewer never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Drive the experiment: DAQ scans publish into the site hub.
+	const steps = 20
+	for i := 0; i < steps; i++ {
+		value = float64(i) * 1e-3
+		if _, err := d.Scan(i+1, float64(i)*0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The viewer must see samples that crossed hub → wire → relay → SSE.
+	var event struct {
+		Samples []nsds.Sample `json:"samples"`
+		Dropped uint64        `json:"dropped"`
+	}
+	delivered := 0
+	sc := bufio.NewScanner(resp.Body)
+	readDeadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	for delivered == 0 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("SSE stream closed before any samples arrived")
+			}
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &event); err != nil {
+				t.Fatalf("bad SSE payload %q: %v", line, err)
+			}
+			delivered += len(event.Samples)
+		case <-readDeadline:
+			t.Fatal("no samples traversed daq → hub → relay → SSE within 10s")
+		}
+	}
+
+	// Both tiers' accounting must be visible in the one registry.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"nsds.tier.published.hub", "nsds.tier.delivered.hub", "nsds.tier.dropped.hub",
+		"nsds.tier.published.relay", "nsds.tier.delivered.relay", "nsds.tier.dropped.relay",
+		"nsds.sub.dropped", "nsds.relay.reconnects",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("counter %s missing from the telemetry snapshot", name)
+		}
+	}
+	if snap.Counters["nsds.tier.published.hub"] != steps {
+		t.Errorf("hub published = %d, want %d", snap.Counters["nsds.tier.published.hub"], steps)
+	}
+	if snap.Counters["nsds.tier.published.relay"] == 0 {
+		t.Error("relay tier republished nothing")
+	}
+}

@@ -156,7 +156,9 @@ func Build(spec Spec) (*Experiment, error) {
 			StopFunc:    func(ctx context.Context) error { return site.sup.Stop(ctx) },
 			HealthyFunc: site.Healthy,
 		}, runtime.WithDrain(site.sup.StopBudget()))
-		sub, err := site.Hub.Subscribe(4096)
+		// Viewers subscribe at the outermost stream tier: the relay hub
+		// when the site runs one, the DAQ hub otherwise.
+		sub, err := site.StreamHub().Subscribe(4096)
 		if err != nil {
 			exp.Stop()
 			return nil, err

@@ -92,6 +92,11 @@ type SiteSpec struct {
 	WAN faultnet.Profile
 	// Noisy enables sensor noise on rig-backed sites.
 	Noisy bool
+	// Relay interposes a local NSDS relay tier between the site's hub and
+	// its viewers (paper §2.2 fan-out at scale): the DAQ publishes to the
+	// hub, a relay forwards to a second hub, and viewers subscribe there.
+	// Each tier keeps its own best-effort drop accounting.
+	Relay bool
 }
 
 // Site is a running experiment site.
@@ -101,6 +106,9 @@ type Site struct {
 	Server   *core.Server
 	Injector *faultnet.Injector
 	Hub      *nsds.Hub
+	// RelayHub is the viewer-facing hub of the relay tier (nil unless
+	// Spec.Relay); viewers subscribe via StreamHub, which picks it up.
+	RelayHub *nsds.Hub
 	DAQ      *daq.DAQ
 	Camera   *telepresence.Camera
 	Rig      *control.Rig
@@ -120,6 +128,7 @@ type Site struct {
 	// server, hub — so teardown is ordered (reverse of start), deadline-
 	// bounded, and error-reporting instead of an ad-hoc cleanup slice.
 	sup    *runtime.Supervisor
+	relay  *nsds.LocalRelay
 	resets []func() error
 	// rec is the recording plugin wrapped around the control backend; a
 	// daemon restart builds a fresh NTCP server over the same plugin so the
@@ -252,6 +261,26 @@ func (s *Site) Stop() error {
 	ctx, cancel := context.WithTimeout(context.Background(), s.sup.StopBudget())
 	defer cancel()
 	return s.sup.Stop(ctx)
+}
+
+// StreamHub returns the hub viewers should subscribe to: the relay-tier
+// hub when the site runs a relay, the DAQ hub otherwise.
+func (s *Site) StreamHub() *nsds.Hub {
+	if s.RelayHub != nil {
+		return s.RelayHub
+	}
+	return s.Hub
+}
+
+// DrainStream waits until every sample published so far has traversed the
+// relay tier (a no-op without one). Deterministic verdicts — the chaos
+// engine's forced-drop accounting — need the asynchronous relay quiesced
+// before its counters are read.
+func (s *Site) DrainStream(ctx context.Context) error {
+	if s.relay == nil {
+		return nil
+	}
+	return s.relay.Drain(ctx)
 }
 
 // Supervisor exposes the site's component tree so an experiment (or an
@@ -401,6 +430,7 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	}
 	site.Tracer = trace.NewTracer(spec.Name, site.SpanRecorder)
 	site.Hub.UseTracer(site.Tracer)
+	site.Hub.UseTelemetry(site.Telemetry, "hub")
 
 	backend, err := buildBackend(spec, site)
 	if err != nil {
@@ -464,6 +494,22 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	}
 	site.DAQ.AttachHub(site.Hub)
 	site.sup.Adopt("hub", runtime.StopFunc(site.Hub.Close))
+	if spec.Relay {
+		// Relay tier: DAQ hub → LocalRelay → relay hub → viewers. Stop
+		// order (reverse of adoption): the relay forwarder stops first,
+		// then its hub closes, then the DAQ hub above.
+		site.RelayHub = nsds.NewHub()
+		site.RelayHub.UseTracer(site.Tracer)
+		site.RelayHub.UseTelemetry(site.Telemetry, "relay")
+		lr, err := nsds.NewLocalRelay(site.Hub, site.RelayHub, 0)
+		if err != nil {
+			_ = site.Stop()
+			return nil, fmt.Errorf("most: site %s relay: %w", spec.Name, err)
+		}
+		site.relay = lr
+		site.sup.Adopt("relay-hub", runtime.StopFunc(site.RelayHub.Close))
+		site.sup.Adopt("relay", runtime.StopFunc(lr.Stop))
+	}
 
 	// Telepresence camera watching the specimen.
 	site.Camera = telepresence.NewCamera(spec.Name+"-cam1", site.LastDisp)

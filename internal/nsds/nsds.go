@@ -5,20 +5,22 @@
 // streamed reliably in real-time" — so a slow subscriber loses samples
 // rather than stalling the experiment; the complete record lands in the
 // repository instead.
+//
+// The package is a multi-tier fan-out system (DESIGN.md §5g). A Hub shards
+// its subscribers across per-core lock domains so publish cost stops
+// scaling with the subscriber count on one mutex; a Relay subscribes to an
+// upstream hub over a single connection and re-fans out through its own
+// local hub, so hubs fan out to hubs in a tree instead of one flat hub
+// serving every viewer; the TCP Server speaks either newline-delimited
+// JSON (legacy) or a length-prefixed binary frame format that encodes each
+// published batch once and writes the same bytes to every connection; and
+// the Gateway serves the stream to browser-class viewers over HTTP
+// Server-Sent Events. Every tier keeps the same drop semantics: a slow
+// consumer loses data, the tier above it never blocks.
 package nsds
 
 import (
-	"bufio"
-	"context"
-	"encoding/json"
-	"fmt"
-	"net"
-	"strconv"
 	"sync"
-	"sync/atomic"
-	"time"
-
-	"neesgrid/internal/trace"
 )
 
 // Sample is one measurement frame.
@@ -34,133 +36,49 @@ type Sample struct {
 	Value float64 `json:"value"`
 }
 
-// Subscription is one consumer's view of the stream.
-type Subscription struct {
-	id  int
-	hub *Hub
-	ch  chan Sample
+// Batch is an immutable group of samples published together (one DAQ scan)
+// and delivered to batch-mode subscribers as a single unit: one channel
+// operation per subscriber per batch instead of one per sample. Its wire
+// frame is encoded lazily and exactly once, then shared by every
+// connection that writes it (encode-once/write-many).
+type Batch struct {
+	// Samples is in publication (sequence) order. Shared between every
+	// subscriber of the batch — callers must not mutate it.
+	Samples []Sample
 
-	dropped atomic.Uint64
-	// filter is the precomputed channel set, built once at subscribe time
-	// and never mutated afterwards, so the fan-out hot path reads it without
-	// a lock.
-	filter map[string]bool
+	frameOnce sync.Once
+	frame     []byte
 }
 
-// C returns the sample channel. It is closed when the subscription is
-// cancelled or the hub shuts down.
-func (s *Subscription) C() <-chan Sample { return s.ch }
-
-// Dropped returns how many samples this subscriber lost to backpressure.
-func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
-
-// Cancel detaches the subscription.
-func (s *Subscription) Cancel() { s.hub.cancel(s.id) }
-
-// wants is lock-free: the filter set is immutable after construction.
-func (s *Subscription) wants(channel string) bool {
-	if len(s.filter) == 0 {
-		return true
-	}
-	return s.filter[channel]
+// newBatch copies samples into an immutable batch. The copy is what makes
+// sharing safe: PublishBatch callers may reuse their slice after it
+// returns.
+func newBatch(samples []Sample) *Batch {
+	return &Batch{Samples: append(make([]Sample, 0, len(samples)), samples...)}
 }
 
-// Hub fan-outs published samples to subscribers, dropping for slow ones.
-type Hub struct {
-	mu       sync.Mutex
-	subs     map[int]*Subscription
-	snapshot []*Subscription // cached subscriber list; nil when stale
-	nextID   int
-	seq      uint64
-	closed   bool
-	retain   int
-	retained map[string][]Sample // channel → last `retain` samples
-	// forceDrop is the number of upcoming samples to swallow before they are
-	// sequenced or delivered — the chaos engine's "drop storm". Counted
-	// separately from backpressure drops: backpressure depends on consumer
-	// timing, forced drops are scheduled, and only the scheduled kind may
-	// appear in a deterministic chaos verdict.
-	forceDrop int
-
-	// fanMu guards delivery against channel close: publishers acquire the
-	// read side while still holding mu — so once a subscriber has been
-	// snapshotted, no cancel/Close can close its channel until the fan-out
-	// finishes — while cancel/Close take the write side before closing a
-	// subscription channel. Lock order is mu → fanMu; cancel/Close never
-	// acquire mu while holding fanMu, so the ordering cannot deadlock.
-	fanMu sync.RWMutex
-
-	published   atomic.Uint64
-	dropped     atomic.Uint64
-	forcedDrops atomic.Uint64
-
-	// tracer, when set, records an "nsds.publish" child span for batch
-	// publishes that arrive with a trace context (PublishBatchContext).
-	// Atomic so the fan-out hot path never takes a lock to check it.
-	tracer atomic.Pointer[trace.Tracer]
-}
-
-// NewHub returns an empty hub.
-func NewHub() *Hub {
-	return &Hub{subs: make(map[int]*Subscription)}
-}
-
-// SetRetention keeps the last n samples per channel for late joiners:
-// SubscribeWithCatchUp delivers them before live samples — how a data
-// viewer opened mid-experiment shows history immediately. 0 disables.
-func (h *Hub) SetRetention(n int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.retain = n
-	if n <= 0 {
-		h.retained = nil
-		return
-	}
-	if h.retained == nil {
-		h.retained = make(map[string][]Sample)
-	}
-}
-
-// SubscribeWithCatchUp attaches a consumer and pre-loads it with the
-// retained history of its channels (best effort: history beyond the buffer
-// is dropped oldest-first, like any other backpressure).
-func (h *Hub) SubscribeWithCatchUp(buffer int, channels ...string) (*Subscription, error) {
-	if buffer < 1 {
-		buffer = 64
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return nil, fmt.Errorf("nsds: hub closed")
-	}
-	sub := &Subscription{id: h.nextID, hub: h, ch: make(chan Sample, buffer)}
-	if len(channels) > 0 {
-		sub.filter = make(map[string]bool, len(channels))
-		for _, c := range channels {
-			sub.filter[c] = true
+// filterTo derives the sub-batch a channel filter selects, or nil when the
+// filter matches nothing. The derived batch has its own wire frame.
+func (b *Batch) filterTo(filter map[string]bool) *Batch {
+	n := 0
+	for i := range b.Samples {
+		if filter[b.Samples[i].Channel] {
+			n++
 		}
 	}
-	// Deliver history before registering for live samples so ordering is
-	// history-then-live with no interleaving gap.
-	var history []Sample
-	for ch, samples := range h.retained {
-		if len(sub.filter) == 0 || sub.filter[ch] {
-			history = append(history, samples...)
+	if n == 0 {
+		return nil
+	}
+	if n == len(b.Samples) {
+		return b
+	}
+	out := make([]Sample, 0, n)
+	for i := range b.Samples {
+		if filter[b.Samples[i].Channel] {
+			out = append(out, b.Samples[i])
 		}
 	}
-	sortBySeq(history)
-	for _, s := range history {
-		select {
-		case sub.ch <- s:
-		default:
-			sub.dropped.Add(1)
-			h.dropped.Add(1)
-		}
-	}
-	h.subs[h.nextID] = sub
-	h.nextID++
-	h.snapshot = nil
-	return sub, nil
+	return &Batch{Samples: out}
 }
 
 func sortBySeq(ss []Sample) {
@@ -168,471 +86,6 @@ func sortBySeq(ss []Sample) {
 	for i := 1; i < len(ss); i++ {
 		for j := i; j > 0 && ss[j].Seq < ss[j-1].Seq; j-- {
 			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
-}
-
-// Subscribe attaches a consumer with the given buffer depth; channels
-// filters the stream (empty = everything).
-func (h *Hub) Subscribe(buffer int, channels ...string) (*Subscription, error) {
-	if buffer < 1 {
-		buffer = 64
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.closed {
-		return nil, fmt.Errorf("nsds: hub closed")
-	}
-	sub := &Subscription{id: h.nextID, hub: h, ch: make(chan Sample, buffer)}
-	if len(channels) > 0 {
-		sub.filter = make(map[string]bool, len(channels))
-		for _, c := range channels {
-			sub.filter[c] = true
-		}
-	}
-	h.subs[h.nextID] = sub
-	h.nextID++
-	h.snapshot = nil
-	return sub, nil
-}
-
-func (h *Hub) cancel(id int) {
-	h.mu.Lock()
-	sub, ok := h.subs[id]
-	if ok {
-		delete(h.subs, id)
-		h.snapshot = nil
-	}
-	h.mu.Unlock()
-	if !ok {
-		return
-	}
-	// Close outside mu but under the fan-out write lock, so no publisher is
-	// mid-send to this channel.
-	h.fanMu.Lock()
-	close(sub.ch)
-	h.fanMu.Unlock()
-}
-
-// subscribers returns the cached subscriber list, rebuilding it only after
-// a subscribe/cancel invalidated it. Callers must hold h.mu. The returned
-// slice is never mutated, so it is safe to use after unlocking.
-func (h *Hub) subscribers() []*Subscription {
-	if h.snapshot == nil {
-		h.snapshot = make([]*Subscription, 0, len(h.subs))
-		for _, sub := range h.subs {
-			h.snapshot = append(h.snapshot, sub)
-		}
-	}
-	return h.snapshot
-}
-
-// deliver offers one sample to one subscriber, dropping on backpressure.
-func (h *Hub) deliver(sub *Subscription, s Sample) {
-	if !sub.wants(s.Channel) {
-		return
-	}
-	select {
-	case sub.ch <- s:
-	default:
-		sub.dropped.Add(1)
-		h.dropped.Add(1)
-	}
-}
-
-// DropNext makes the hub swallow the next n published samples before they
-// are sequenced, retained, or delivered — as if the streaming link ate
-// them. Use it to emulate NSDS loss on a deterministic schedule; forced
-// drops are counted by ForcedDrops, not in the backpressure total.
-func (h *Hub) DropNext(n int) {
-	if n <= 0 {
-		return
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.forceDrop += n
-}
-
-// ForcedDrops returns how many samples DropNext has swallowed so far.
-func (h *Hub) ForcedDrops() uint64 { return h.forcedDrops.Load() }
-
-// Publish assigns a sequence number and delivers the sample best-effort.
-func (h *Hub) Publish(s Sample) {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return
-	}
-	if h.forceDrop > 0 {
-		h.forceDrop--
-		h.mu.Unlock()
-		h.forcedDrops.Add(1)
-		return
-	}
-	h.seq++
-	s.Seq = h.seq
-	h.published.Add(1)
-	if h.retain > 0 {
-		h.retainLocked(s)
-	}
-	subs := h.subscribers()
-	// Take the fan-out read lock before releasing mu: a cancel/Close that
-	// sneaks into the gap would otherwise complete its channel close and a
-	// send to the snapshotted subscriber would panic.
-	h.fanMu.RLock()
-	h.mu.Unlock()
-
-	for _, sub := range subs {
-		h.deliver(sub, s)
-	}
-	h.fanMu.RUnlock()
-}
-
-// UseTracer wires distributed tracing into the hub: batch publishes that
-// carry a trace context (PublishBatchContext) record an "nsds.publish"
-// child span with batch size, subscriber count, and drops. Nil disables.
-func (h *Hub) UseTracer(t *trace.Tracer) { h.tracer.Store(t) }
-
-// PublishBatch assigns consecutive sequence numbers to a burst of samples
-// and fans them out with one lock acquisition for the whole batch — the
-// shape a DAQ scan produces (every channel sampled at one instant). The
-// batch is delivered subscriber-major so each consumer sees the batch in
-// order; samples mutate in place (their Seq fields are filled in).
-func (h *Hub) PublishBatch(samples []Sample) {
-	h.PublishBatchContext(context.Background(), samples)
-}
-
-// PublishBatchContext is PublishBatch with trace propagation: when the
-// hub has a tracer and ctx carries a span (the coordinator's step span,
-// via OnStepCtx → daq.ScanContext), the fan-out is recorded as an
-// "nsds.publish" child span — the DAQ-readback leg of the paper's step
-// breakdown. Without a tracer or without a parent span the path is
-// byte-for-byte the old PublishBatch.
-func (h *Hub) PublishBatchContext(ctx context.Context, samples []Sample) {
-	if len(samples) == 0 {
-		return
-	}
-	var span *trace.Span
-	if tr := h.tracer.Load(); tr != nil && trace.SpanContextFromContext(ctx).IsValid() {
-		_, span = tr.Start(ctx, "nsds.publish", trace.KindInternal)
-		span.SetAttr("samples", strconv.Itoa(len(samples)))
-		droppedBefore := h.dropped.Load()
-		defer func() {
-			span.SetAttr("dropped", strconv.FormatUint(h.dropped.Load()-droppedBefore, 10))
-			span.End()
-		}()
-	}
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return
-	}
-	if h.forceDrop > 0 {
-		// A drop storm eats the leading samples of the batch before they are
-		// sequenced — survivors keep consecutive sequence numbers.
-		k := h.forceDrop
-		if k > len(samples) {
-			k = len(samples)
-		}
-		h.forceDrop -= k
-		h.forcedDrops.Add(uint64(k))
-		samples = samples[k:]
-		if len(samples) == 0 {
-			h.mu.Unlock()
-			return
-		}
-	}
-	for i := range samples {
-		h.seq++
-		samples[i].Seq = h.seq
-		if h.retain > 0 {
-			h.retainLocked(samples[i])
-		}
-	}
-	h.published.Add(uint64(len(samples)))
-	subs := h.subscribers()
-	if span != nil {
-		span.SetAttr("subscribers", strconv.Itoa(len(subs)))
-	}
-	// As in Publish: hold fanMu before dropping mu so no snapshotted
-	// subscriber's channel can be closed mid-batch.
-	h.fanMu.RLock()
-	h.mu.Unlock()
-
-	for _, sub := range subs {
-		for i := range samples {
-			h.deliver(sub, samples[i])
-		}
-	}
-	h.fanMu.RUnlock()
-}
-
-// retainLocked appends a sample to its channel's retention ring. Callers
-// must hold h.mu and have checked h.retain > 0.
-func (h *Hub) retainLocked(s Sample) {
-	kept := append(h.retained[s.Channel], s)
-	if len(kept) > h.retain {
-		kept = kept[len(kept)-h.retain:]
-	}
-	h.retained[s.Channel] = kept
-}
-
-// Stats returns (published, dropped) totals.
-func (h *Hub) Stats() (published, dropped uint64) {
-	return h.published.Load(), h.dropped.Load()
-}
-
-// Close shuts the hub down, closing every subscription channel.
-func (h *Hub) Close() {
-	h.mu.Lock()
-	if h.closed {
-		h.mu.Unlock()
-		return
-	}
-	h.closed = true
-	h.snapshot = nil
-	closing := make([]*Subscription, 0, len(h.subs))
-	for id, sub := range h.subs {
-		delete(h.subs, id)
-		closing = append(closing, sub)
-	}
-	h.mu.Unlock()
-
-	h.fanMu.Lock()
-	for _, sub := range closing {
-		close(sub.ch)
-	}
-	h.fanMu.Unlock()
-}
-
-// ---------------------------------------------------------------------------
-// TCP service
-// ---------------------------------------------------------------------------
-
-// subscribeMsg is the first line a TCP client sends.
-type subscribeMsg struct {
-	Channels []string `json:"channels"`
-	Buffer   int      `json:"buffer"`
-	CatchUp  bool     `json:"catch_up,omitempty"`
-}
-
-// Server exposes a hub over TCP: the client sends one JSON subscribe line,
-// then receives newline-delimited JSON samples until it disconnects.
-type Server struct {
-	hub *Hub
-
-	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	stopped bool
-	done    sync.WaitGroup // outstanding serve goroutines
-}
-
-// NewServer wraps a hub.
-func NewServer(hub *Hub) *Server { return &Server{hub: hub, conns: make(map[net.Conn]struct{})} }
-
-// Start listens on addr; returns the bound address.
-func (s *Server) Start(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("nsds: listen: %w", err)
-	}
-	s.mu.Lock()
-	s.ln = ln
-	s.stopped = false
-	s.mu.Unlock()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			s.mu.Lock()
-			if s.stopped {
-				s.mu.Unlock()
-				_ = conn.Close()
-				return
-			}
-			s.conns[conn] = struct{}{}
-			s.done.Add(1)
-			s.mu.Unlock()
-			go s.serve(conn)
-		}
-	}()
-	return ln.Addr().String(), nil
-}
-
-// Close stops the listener and severs every subscriber connection
-// immediately.
-func (s *Server) Close() error {
-	s.mu.Lock()
-	s.stopped = true
-	err := error(nil)
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	for conn := range s.conns {
-		_ = conn.Close()
-	}
-	s.mu.Unlock()
-	return err
-}
-
-// Stop is the graceful form of Close for the runtime supervisor: it stops
-// the listener, severs subscribers, and waits (bounded by ctx) for the
-// per-connection goroutines to finish flushing.
-func (s *Server) Stop(ctx context.Context) error {
-	err := s.Close()
-	idle := make(chan struct{})
-	go func() { s.done.Wait(); close(idle) }()
-	select {
-	case <-idle:
-		return err
-	case <-ctx.Done():
-		return fmt.Errorf("nsds: subscriber connections still draining: %w", ctx.Err())
-	}
-}
-
-// Healthy reports nil while the listener is accepting subscribers.
-func (s *Server) Healthy() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.ln == nil {
-		return fmt.Errorf("nsds: server not started")
-	}
-	if s.stopped {
-		return fmt.Errorf("nsds: server stopped")
-	}
-	return nil
-}
-
-func (s *Server) serve(conn net.Conn) {
-	defer func() {
-		_ = conn.Close()
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		s.done.Done()
-	}()
-	sc := bufio.NewScanner(conn)
-	if !sc.Scan() {
-		return
-	}
-	var msg subscribeMsg
-	if err := json.Unmarshal(sc.Bytes(), &msg); err != nil {
-		return
-	}
-	var sub *Subscription
-	var err error
-	if msg.CatchUp {
-		sub, err = s.hub.SubscribeWithCatchUp(msg.Buffer, msg.Channels...)
-	} else {
-		sub, err = s.hub.Subscribe(msg.Buffer, msg.Channels...)
-	}
-	if err != nil {
-		return
-	}
-	defer sub.Cancel()
-	// Buffer writes and flush only when the subscription runs dry: a burst
-	// of samples coalesces into one syscall instead of one write per sample,
-	// while an idle stream still delivers every sample promptly.
-	bw := bufio.NewWriterSize(conn, 32<<10)
-	enc := json.NewEncoder(bw)
-	for sample := range sub.C() {
-		if err := enc.Encode(sample); err != nil {
-			return
-		}
-	drain:
-		for {
-			select {
-			case s, ok := <-sub.C():
-				if !ok {
-					_ = bw.Flush()
-					return
-				}
-				if err := enc.Encode(s); err != nil {
-					return
-				}
-			default:
-				break drain
-			}
-		}
-		if err := bw.Flush(); err != nil {
-			return
-		}
-	}
-	_ = bw.Flush()
-}
-
-// Client consumes a remote NSDS stream.
-type Client struct {
-	conn net.Conn
-	ch   chan Sample
-}
-
-// Dial connects, subscribes to channels (empty = all), and starts decoding
-// samples into C(). dial overrides the dialer (fault injection); nil means
-// net.Dial.
-func Dial(addr string, buffer int, channels []string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
-	return dialSubscribe(addr, subscribeMsg{Channels: channels, Buffer: buffer}, dial)
-}
-
-// DialCatchUp is Dial plus retained-history delivery: the server sends its
-// retained samples for the channels first, then the live stream — a viewer
-// joining mid-experiment sees history immediately.
-func DialCatchUp(addr string, buffer int, channels []string, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
-	return dialSubscribe(addr, subscribeMsg{Channels: channels, Buffer: buffer, CatchUp: true}, dial)
-}
-
-func dialSubscribe(addr string, msg subscribeMsg, dial func(network, addr string) (net.Conn, error)) (*Client, error) {
-	if dial == nil {
-		dial = net.Dial
-	}
-	conn, err := dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("nsds: dial %s: %w", addr, err)
-	}
-	buffer := msg.Buffer
-	enc := json.NewEncoder(conn)
-	if err := enc.Encode(msg); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("nsds: subscribe: %w", err)
-	}
-	c := &Client{conn: conn, ch: make(chan Sample, buffer)}
-	go func() {
-		defer close(c.ch)
-		sc := bufio.NewScanner(conn)
-		sc.Buffer(make([]byte, 64<<10), 1<<20)
-		for sc.Scan() {
-			var s Sample
-			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-				return
-			}
-			c.ch <- s
-		}
-	}()
-	return c, nil
-}
-
-// C returns the received sample stream; closed on disconnect.
-func (c *Client) C() <-chan Sample { return c.ch }
-
-// Close disconnects.
-func (c *Client) Close() error { return c.conn.Close() }
-
-// CollectFor drains samples for a duration (test/diagnostic helper).
-func (c *Client) CollectFor(d time.Duration) []Sample {
-	var out []Sample
-	deadline := time.After(d)
-	for {
-		select {
-		case s, ok := <-c.ch:
-			if !ok {
-				return out
-			}
-			out = append(out, s)
-		case <-deadline:
-			return out
 		}
 	}
 }

@@ -1,0 +1,172 @@
+package nsds
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Regression: a stalled viewer TCP socket (subscribed, never reads) used
+// to wedge its writer goroutine on flush forever — the connection, the
+// goroutine, and the subscription leaked for the life of the process. The
+// write deadline must disconnect the dead viewer while the publish path
+// keeps completing without ever blocking.
+func TestServerWriteDeadlineDisconnectsStalledViewer(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	srv := NewServer(hub)
+	srv.WriteTimeout = 200 * time.Millisecond
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, `{"channels":[],"buffer":64}`); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the server has registered the subscription, then stall:
+	// this client never reads, so kernel buffers fill and the server's
+	// flush blocks until the deadline trips.
+	waitFor(t, time.Second, func() bool { return hub.Subscribers() == 1 })
+
+	// Fat samples fill the socket buffers quickly. Publishing must never
+	// block regardless of the wedged connection (best-effort contract), so
+	// bound each call anyway to turn a hang into a test failure.
+	fat := Sample{Channel: strings.Repeat("c", 32<<10)}
+	deadline := time.Now().Add(10 * time.Second)
+	for hub.Subscribers() > 0 && time.Now().Before(deadline) {
+		published := make(chan struct{})
+		go func() {
+			hub.PublishBatch([]Sample{fat})
+			close(published)
+		}()
+		select {
+		case <-published:
+		case <-time.After(2 * time.Second):
+			t.Fatal("publish blocked on a stalled viewer connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := hub.Subscribers(); n != 0 {
+		t.Fatalf("stalled viewer still subscribed after deadline (%d subscribers)", n)
+	}
+	waitFor(t, 5*time.Second, func() bool { return srv.ConnCount() == 0 })
+}
+
+func TestServerBinaryFormatStreamsBatches(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	hub.SetRetention(8)
+	srv := NewServer(hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	hub.Publish(Sample{Channel: "a", T: 0.5, Value: 1})
+	cl, err := DialBatches(addr, 16, true, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	hub.PublishBatch([]Sample{{Channel: "a", T: 1, Value: 2}, {Channel: "b", T: 1, Value: 3}})
+
+	got := cl.CollectFor(500 * time.Millisecond)
+	if len(got) != 3 {
+		t.Fatalf("got %d samples %+v, want 3 (catch-up + live batch)", len(got), got)
+	}
+	for i, s := range got {
+		if s.Seq != uint64(i+1) {
+			t.Fatalf("seqs out of order: %+v", got)
+		}
+	}
+	if got[2].Channel != "b" || got[2].Value != 3 {
+		t.Fatalf("binary decode mismatch: %+v", got[2])
+	}
+}
+
+func TestServerBinaryChannelFilter(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	srv := NewServer(hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := DialBatches(addr, 16, false, []string{"keep"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	waitFor(t, time.Second, func() bool { return hub.Subscribers() == 1 })
+	hub.PublishBatch([]Sample{{Channel: "drop"}, {Channel: "keep"}, {Channel: "drop"}})
+	got := cl.CollectFor(500 * time.Millisecond)
+	if len(got) != 1 || got[0].Channel != "keep" {
+		t.Fatalf("filtered stream = %+v", got)
+	}
+}
+
+// The subscribe message is still plain JSON, so a legacy client and a
+// binary client coexist on one server.
+func TestServerMixedFormatClients(t *testing.T) {
+	hub := NewHub()
+	defer hub.Close()
+	srv := NewServer(hub)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	jsonCl, err := Dial(addr, 16, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonCl.Close()
+	binCl, err := DialBatches(addr, 16, false, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer binCl.Close()
+	waitFor(t, time.Second, func() bool { return hub.Subscribers() == 2 })
+
+	hub.PublishBatch([]Sample{{Channel: "a", Value: 42}})
+	j := jsonCl.CollectFor(500 * time.Millisecond)
+	b := binCl.CollectFor(500 * time.Millisecond)
+	if len(j) != 1 || len(b) != 1 || j[0] != b[0] {
+		t.Fatalf("json=%+v binary=%+v, want identical single sample", j, b)
+	}
+}
+
+func TestSubscribeMsgJSONShape(t *testing.T) {
+	// The wire handshake is part of the protocol surface: field names must
+	// not drift or old clients break.
+	data, _ := json.Marshal(subscribeMsg{Channels: []string{"a"}, Buffer: 4, CatchUp: true, Format: "binary"})
+	want := `{"channels":["a"],"buffer":4,"catch_up":true,"format":"binary"}`
+	if string(data) != want {
+		t.Fatalf("subscribe msg = %s, want %s", data, want)
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -1,0 +1,71 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerServesJSONByDefault(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nsds.tier.dropped.hub").Add(7)
+	ts := httptest.NewServer(Handler(reg))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["nsds.tier.dropped.hub"] != 7 {
+		t.Fatalf("counter = %d, want 7", snap.Counters["nsds.tier.dropped.hub"])
+	}
+}
+
+func TestHandlerServesPrometheusOnAccept(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nsds.tier.dropped.relay").Add(3)
+	ts := httptest.NewServer(Handler(reg))
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "nsds_tier_dropped_relay_total 3") {
+		t.Fatalf("exposition missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerRejectsNonGET(t *testing.T) {
+	ts := httptest.NewServer(Handler(NewRegistry()))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
