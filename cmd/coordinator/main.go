@@ -31,6 +31,14 @@
 // a crashed coordinator restarted with -resume picks the run up from the
 // snapshot, relying on NTCP's named-transaction dedupe to replay any step
 // the sites already executed.
+//
+// With -obs the coordinator serves a cross-site observability aggregator:
+// every site's /metrics endpoint is scraped alongside the coordinator's own
+// registry, merged into exact fleet-wide quantiles, and exposed at /fleet
+// (for `mostctl top`), /metrics (JSON or Prometheus) and /slo. Rules given
+// via -slo are evaluated continuously; a breach latches into the verdict,
+// is written to <out>/<name>-metrics.json, and makes the run exit 3 even
+// when the stepping loop itself succeeded.
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -46,6 +56,7 @@ import (
 	"neesgrid/internal/core"
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/obs"
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
@@ -93,6 +104,8 @@ func run() int {
 	ckptPath := flag.String("checkpoint", "", "journal per-step snapshots to this file (atomic replace)")
 	ckptEvery := flag.Int("checkpoint-every", 1, "checkpoint cadence in steps")
 	resume := flag.Bool("resume", false, "resume from the -checkpoint snapshot instead of starting from rest")
+	obsAddr := flag.String("obs", "", "serve the cross-site obs aggregator (/fleet /metrics /slo) on this address")
+	sloPath := flag.String("slo", "", "SLO rules JSON; breaches latch into the run verdict and exit code 3")
 	var debugFlags runtime.DebugFlags
 	debugFlags.Register(nil)
 	flag.Parse()
@@ -140,7 +153,8 @@ func run() int {
 	tracer := trace.NewTracer("coordinator", rec)
 
 	sup := runtime.NewSupervisor("coordinator")
-	if ds := debugFlags.Install(sup, rec); ds != nil {
+	ds := debugFlags.Install(sup, rec)
+	if ds != nil {
 		sup.AddFuncs("banner", runtime.Funcs{StartFunc: func(context.Context) error {
 			fmt.Printf("coordinator: pprof at http://%s/debug/pprof/, spans at /trace, probes at /healthz /readyz\n",
 				ds.Addr())
@@ -160,6 +174,45 @@ func run() int {
 			ControlPoint: s.Point,
 			DOFs:         []int{0},
 		}
+	}
+
+	// Observability plane: one scrape source per remote site's container
+	// /metrics, plus the coordinator's own registry in-process (with process
+	// self-metrics refreshed per fetch). SLO breaches latch into the verdict
+	// written to <out>/<name>-metrics.json and gate the exit code.
+	var slos []obs.SLO
+	if *sloPath != "" {
+		var err error
+		slos, err = obs.LoadSLOFile(*sloPath)
+		if err != nil {
+			return fatal("slo: %v", err)
+		}
+	}
+	sources := make([]obs.Source, 0, len(cfg.Sites)+1)
+	for _, s := range cfg.Sites {
+		sources = append(sources, obs.Source{Name: s.Name, URL: "http://" + s.Addr + "/metrics"})
+	}
+	coordSource := obs.Source{Name: "coordinator", Fetch: func() telemetry.Snapshot {
+		telemetry.ProcessMetrics(reg)
+		return reg.Snapshot()
+	}}
+	if ds != nil {
+		// Breach-triggered profile capture hits the -pprof debug mux.
+		coordSource.PprofURL = "http://" + ds.Addr()
+	}
+	sources = append(sources, coordSource)
+	agg := obs.New(obs.Config{Sources: sources, SLOs: slos, ProfileDir: *out})
+	sup.Add("obs-aggregator", agg)
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			return fatal("obs: listen %s: %v", *obsAddr, err)
+		}
+		obsSrv := &http.Server{Handler: agg.Mux()}
+		go func() { _ = obsSrv.Serve(ln) }()
+		sup.Adopt("obs-http", runtime.StopErrFunc(obsSrv.Close))
+		fmt.Printf("coordinator: obs aggregator at http://%s (endpoints: /fleet /metrics /slo /series /push)\n",
+			ln.Addr())
 	}
 
 	ground, err := loadGround(cfg)
@@ -239,6 +292,14 @@ func run() int {
 			fmt.Printf("coordinator: NTCP failed rtt p50=%s p95=%s p99=%s over %d calls\n",
 				seconds(frtt.P50), seconds(frtt.P95), seconds(frtt.P99), frtt.Count)
 		}
+		// Final scrape so the archived roll-up (and the SLO gate below)
+		// reflect the finished run, then persist the machine-readable
+		// fleet view + verdict beside the response history.
+		scrapeCtx, cancelScrape := context.WithTimeout(context.Background(), 10*time.Second)
+		agg.ScrapeOnce(scrapeCtx)
+		cancelScrape()
+		verdict := agg.Verdict()
+		writeRollup(*out, cfg.Name, agg, verdict)
 		if runErr != nil {
 			if ctx.Err() != nil {
 				// Signal-initiated: outputs are flushed, exit clean.
@@ -249,8 +310,41 @@ func run() int {
 			return runtime.Exitf(2, "run terminated prematurely at step %d: %v",
 				report.FailedStep, runErr)
 		}
+		// SLO gate: a run that finished but latched a breach exits 3 —
+		// CI treats it as a performance regression, not a crash.
+		if !verdict.OK {
+			for _, r := range verdict.Rules {
+				if r.Breaches > 0 {
+					fmt.Fprintf(os.Stderr, "coordinator: SLO %s breached %d times (worst %.4g > max %.4g)\n",
+						r.Name, r.Breaches, r.Worst, r.Max)
+				}
+			}
+			return runtime.Exitf(3, "run completed but breached its SLOs")
+		}
 		return nil
 	})
+}
+
+// writeRollup persists the run's observability roll-up — final fleet view
+// plus latched SLO verdict — as <out>/<name>-metrics.json.
+func writeRollup(dir, name string, agg *obs.Aggregator, verdict obs.Verdict) {
+	rollup := struct {
+		Run      string        `json:"run"`
+		Finished time.Time     `json:"finished"`
+		Fleet    obs.FleetView `json:"fleet"`
+		Verdict  obs.Verdict   `json:"verdict"`
+	}{Run: name, Finished: time.Now(), Fleet: agg.Fleet(), Verdict: verdict}
+	b, err := json.MarshalIndent(rollup, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator: metrics roll-up: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, name+"-metrics.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "coordinator: metrics roll-up: %v\n", err)
+		return
+	}
+	fmt.Printf("coordinator: wrote %s\n", path)
 }
 
 // seconds renders a histogram value recorded in seconds as a duration.

@@ -13,6 +13,8 @@
 //	mostctl -experiment minimost                    # E7
 //	mostctl -experiment soil-structure              # E12
 //	mostctl metrics -url http://127.0.0.1:8080      # inspect a live container
+//	mostctl top -url http://127.0.0.1:9090          # live cross-site dashboard
+//	mostctl top -run                                # self-checking obs smoke
 //	mostctl chaos -scenario deploy/scenarios/step-1493.json  # E13: survive 1493
 //
 // SIGINT/SIGTERM interrupt the stepping loop but still flush the response
@@ -50,6 +52,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		topCmd(os.Args[2:])
 		return
 	}
 	os.Exit(runExperiment())

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Staged CI pipeline. Usage:
 #
-#   deploy/ci.sh                 # default lane (tier 1): vet build test bench smoke
+#   deploy/ci.sh                 # default lane (tier 1): vet build test bench smoke obs
 #   deploy/ci.sh chaos           # nightly lane: chaos scenarios, twice each, byte-compared
 #   deploy/ci.sh vet test        # any subset, in the order given
 #   deploy/ci.sh all             # every stage including chaos
@@ -12,6 +12,9 @@
 #   test   - full suite under the race detector
 #   bench  - E8/E10 hot-path smoke gated against BENCH_ntcp.json (deploy/benchgate)
 #   smoke  - trace round-trip + graceful-shutdown end-to-end smokes
+#   obs    - observability smoke: the aggregator over a two-site run must
+#            serve per-site + fleet-wide merged series, link the fleet p99
+#            to a resolvable exemplar trace, and report an OK SLO verdict
 #   chaos  - step-1493 (classic, pipelined, and relay-topology lanes) and
 #            partition scenarios, each run twice; the two verdict reports
 #            must be byte-identical (determinism gate)
@@ -69,6 +72,34 @@ stage_smoke() {
     go test -race -count=1 -run 'TestGracefulShutdown|TestNoGoroutineLeakAfterExperimentStop|TestFanOutPipelineSmoke' ./internal/e2e/
 }
 
+stage_obs() {
+    # Observability smoke: `mostctl top -run` drives a two-site experiment
+    # with its obs aggregator serving over HTTP, then self-checks: per-site
+    # labeled series and fleet-wide merged p50/p95/p99 in /metrics, an
+    # exemplar trace ID on the fleet RTT histogram that resolves to recorded
+    # spans, and an OK SLO verdict (any latched breach exits non-zero).
+    tmp=$(mktemp) || return 1
+    if ! go run ./cmd/mostctl top -run -steps 15 >"$tmp" 2>&1; then
+        echo "obs smoke failed; captured output:"
+        cat "$tmp"
+        rm -f "$tmp"
+        return 1
+    fi
+    # Belt and braces: the self-check already asserts these, but grep the
+    # rendered output so a silently-weakened checker still fails the stage.
+    rc=0
+    for needle in 'fleet RTT' 'slowest trace=' 'top check passed'; do
+        if ! grep -q "$needle" "$tmp"; then
+            echo "obs smoke output missing '$needle':"
+            cat "$tmp"
+            rc=1
+            break
+        fi
+    done
+    rm -f "$tmp"
+    return $rc
+}
+
 stage_chaos() {
     out=$(mktemp -d) || return 1
     rc=0
@@ -124,16 +155,16 @@ finish() {
 }
 
 if [ $# -eq 0 ]; then
-    set -- vet build test bench smoke
+    set -- vet build test bench smoke obs
 elif [ "$1" = all ]; then
-    set -- vet build test bench smoke chaos
+    set -- vet build test bench smoke obs chaos
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    vet | build | test | bench | smoke | chaos) ;;
+    vet | build | test | bench | smoke | obs | chaos) ;;
     *)
-        echo "ci: unknown stage '$stage' (stages: vet build test bench smoke chaos)" >&2
+        echo "ci: unknown stage '$stage' (stages: vet build test bench smoke obs chaos)" >&2
         exit 2
         ;;
     esac

@@ -506,6 +506,24 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 	}
 	report := &Report{ResumedFrom: -1}
 	stepHist := c.tel.Histogram("coord.step.seconds", telemetry.DefaultLatencyBuckets...)
+	// Pre-register the run's counters at zero so the Prometheus exposition
+	// (and the obs aggregator's merged view) carries every coord.* series
+	// from the first scrape, not only after the first increment.
+	c.tel.Counter("coord.steps.completed")
+	c.tel.Counter("coord.steps.failed")
+	c.tel.Counter("coord.proposals.revised")
+	c.tel.Counter("coord.resumes")
+	c.tel.Counter("coord.checkpoints.written")
+	if c.cfg.Pipeline {
+		c.tel.Counter("coord.proposals.stale_cancelled")
+		c.tel.Counter("coord.pipeline.hits")
+		c.tel.Counter("coord.pipeline.mispredicts")
+	}
+	// coord.checkpoint.lag_steps is how many committed steps the newest
+	// checkpoint trails by — the "how much would a crash now replay" number
+	// the fleet dashboard watches. Meaningful only when checkpointing is on.
+	ckLag := c.tel.Gauge("coord.checkpoint.lag_steps")
+	lastCheckpointStep := -1
 	finish := func(err error, failedStep int) (*structural.History, *Report, error) {
 		report.Elapsed = time.Since(start)
 		report.Err = err
@@ -563,6 +581,9 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		if ck == nil {
 			return nil
 		}
+		if lastCheckpointStep >= 0 {
+			ckLag.Set(float64(st.Step - lastCheckpointStep))
+		}
 		if st.Step%ck.every() != 0 && st.Step != c.cfg.Steps && st.Step != 0 {
 			return nil
 		}
@@ -590,6 +611,8 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		}
 		report.Checkpoints++
 		c.tel.Counter("coord.checkpoints.written").Inc()
+		lastCheckpointStep = st.Step
+		ckLag.Set(0)
 		return nil
 	}
 
@@ -607,6 +630,7 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 			hist.Record(st)
 		}
 		lastTraceID = cp.TraceID
+		lastCheckpointStep = cp.Step
 		report.ResumedFrom = cp.Step
 		report.StepsCompleted = cp.Step
 		startStep = cp.Step + 1
@@ -670,7 +694,10 @@ func (c *Coordinator) Run(ctx context.Context) (*structural.History, *Report, er
 		stepCtx = sctx
 		stepStart := time.Now()
 		st, err := c.cfg.Integrator.Step(structural.GroundLoad(c.cfg.M, iota, c.cfg.Ground(s)))
-		stepHist.ObserveDuration(time.Since(stepStart))
+		// The step histogram carries the step's root trace as its exemplar:
+		// a fleet-wide p99 on coord.step.seconds resolves straight to the
+		// `mostctl trace` timeline of the slowest step.
+		stepHist.ObserveDurationExemplar(time.Since(stepStart), span.Context().TraceID.String())
 		if err != nil {
 			span.SetError(err)
 			span.End()

@@ -51,7 +51,7 @@ func (c *Client) ExecuteAndPropose(ctx context.Context, execName string, next *P
 			}
 			continue
 		}
-		c.rtt.ObserveDuration(time.Since(start))
+		c.observeRTT(ctx, time.Since(start))
 		var execRec, propRec *Record
 		execErr := results[0].Err()
 		propErr := results[1].Err()

@@ -8,6 +8,7 @@ import (
 
 	"neesgrid/internal/ogsi"
 	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
 )
 
 // RetryPolicy controls the client side of NTCP fault tolerance: how many
@@ -90,6 +91,7 @@ type Client struct {
 	recovered *telemetry.Counter
 	rtt       *telemetry.Histogram
 	failedRTT *telemetry.Histogram
+	siteRTT   *telemetry.Histogram // per-site split, set by LabelSite
 }
 
 // NewClient wraps an OGSI client as an NTCP client with a private telemetry
@@ -117,6 +119,30 @@ func NewClientWithTelemetry(og *ogsi.Client, retry RetryPolicy, reg *telemetry.R
 
 // Telemetry exposes the client's metrics registry.
 func (c *Client) Telemetry() *telemetry.Registry { return c.tel }
+
+// LabelSite additionally records successful round trips into a per-site
+// histogram ntcp.client.<site>.rtt.seconds. The MOST coordinator shares
+// one registry across all its site clients; the label is what lets the
+// obs aggregator and `mostctl top` show each site's RTT quantiles
+// separately while the unlabeled histogram keeps the experiment-wide
+// distribution. Returns c for chaining.
+func (c *Client) LabelSite(site string) *Client {
+	if site != "" {
+		c.siteRTT = c.tel.Histogram("ntcp.client." + site + ".rtt.seconds")
+	}
+	return c
+}
+
+// observeRTT records one successful round trip into the shared (and, when
+// labeled, per-site) histogram, attaching the calling step's trace ID as
+// the exemplar so a slow p99 resolves to a `mostctl trace` timeline.
+func (c *Client) observeRTT(ctx context.Context, d time.Duration) {
+	traceID := trace.SpanContextFromContext(ctx).TraceID.String()
+	c.rtt.ObserveDurationExemplar(d, traceID)
+	if c.siteRTT != nil {
+		c.siteRTT.ObserveDurationExemplar(d, traceID)
+	}
+}
 
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() ClientStats {
@@ -162,7 +188,7 @@ func (c *Client) call(ctx context.Context, op string, params any) (*Record, erro
 			// The round-trip histogram is success-only: a retry storm's
 			// instantly-failing attempts would otherwise drag p99 for the
 			// round trips that actually completed.
-			c.rtt.ObserveDuration(time.Since(start))
+			c.observeRTT(ctx, time.Since(start))
 			if try > 0 {
 				c.recovered.Inc()
 				c.tel.Event("ntcp-client", "recovered", map[string]any{"op": op, "attempt": try + 1})

@@ -112,6 +112,16 @@ func NewServer(plugin Plugin, policy *SitePolicy, opts ServerOptions) *Server {
 		lastPos:    make(map[string][]float64),
 	}
 	s.execCtx, s.execCancel = context.WithCancel(context.Background())
+	// Pre-register every outcome series at zero: a freshly started daemon's
+	// /metrics must show ntcp.server.proposed = 0, not omit the series —
+	// scrapers and the obs aggregator cannot tell a missing counter from a
+	// site that never wired telemetry.
+	for _, name := range []string{cProposed, cAccepted, cRejected,
+		cExecuted, cFailed, cCancelled, cDeduped} {
+		s.tel.Counter(name)
+	}
+	s.tel.Histogram("ntcp.server.validate.seconds")
+	s.tel.Histogram("ntcp.server.plugin.execute.seconds")
 	s.svc = ogsi.NewService(opts.ServiceName)
 	s.svc.SDEs.SetClock(opts.Clock)
 	s.svc.Lifetimes.SetClock(opts.Clock)

@@ -77,6 +77,14 @@ func (in *Injector) UseTelemetry(reg *telemetry.Registry) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.tel = reg
+	if reg != nil {
+		// Pre-register at zero: a fault-free run still exports the series,
+		// so "no faults injected" reads as faultnet.injected = 0 rather than
+		// looking like the injector was never wired.
+		reg.Counter("faultnet.calls")
+		reg.Counter("faultnet.injected")
+		reg.Counter("faultnet.cuts")
+	}
 }
 
 // FailNext makes the next n calls fail with a transport error — a transient

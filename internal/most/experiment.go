@@ -10,6 +10,7 @@ import (
 	"neesgrid/internal/core"
 	"neesgrid/internal/groundmotion"
 	"neesgrid/internal/gsi"
+	"neesgrid/internal/obs"
 	"neesgrid/internal/runtime"
 	"neesgrid/internal/structural"
 	"neesgrid/internal/telemetry"
@@ -65,6 +66,11 @@ type Spec struct {
 	DAQEvery int
 	// OnStep observes committed states.
 	OnStep func(structural.State)
+	// SLOs are the run's service-level objectives, evaluated continuously
+	// by the experiment's observability aggregator (see Experiment.Obs).
+	// A breach is latched into the aggregator's verdict — and into the
+	// archived <name>-metrics.json roll-up — even if the run recovers.
+	SLOs []obs.SLO
 	// Checkpoint, Resume, and Interrupt pass through to the coordinator
 	// (coord.Config): per-step atomic snapshots, starting mid-run from a
 	// snapshot, and the deterministic pre-step abort hook. The chaos engine
@@ -112,6 +118,16 @@ type Experiment struct {
 	// over the recorders.
 	Tracer        *trace.Tracer
 	TraceRecorder *trace.Recorder
+
+	// obsAgg is the experiment-wide observability aggregator: one source
+	// per site (scraping the container's /metrics endpoint over HTTP, the
+	// same path a remote operator uses) plus the coordinator-side registry
+	// in-process. Build wires it but does NOT start its scrape loop —
+	// benchmarked runs must not pay a background scraper; callers that want
+	// live aggregation start it (mostctl top, the obs CI smoke) or call
+	// ScrapeOnce for a point-in-time fleet view. Run always takes a final
+	// scrape so the archived roll-up reflects the finished run.
+	obsAgg *obs.Aggregator
 
 	arch *archive
 	// sup supervises the topology: each site's component tree nests under
@@ -182,6 +198,25 @@ func Build(spec Spec) (*Experiment, error) {
 		}
 		exp.sup.Adopt("archive-ftp", runtime.StopErrFunc(exp.arch.ftp.Close))
 	}
+	// Observability plane: one scrape source per site over the container's
+	// /metrics HTTP endpoint, plus the coordinator registry in-process (with
+	// process self-metrics refreshed per fetch). Wired, not started — see
+	// the obsAgg field comment.
+	sources := make([]obs.Source, 0, len(exp.Sites)+1)
+	for _, s := range exp.Sites {
+		sources = append(sources, obs.Source{
+			Name: s.Spec.Name,
+			URL:  "http://" + s.Addr + "/metrics",
+		})
+	}
+	sources = append(sources, obs.Source{
+		Name: "coordinator",
+		Fetch: func() telemetry.Snapshot {
+			telemetry.ProcessMetrics(exp.Telemetry)
+			return exp.Telemetry.Snapshot()
+		},
+	})
+	exp.obsAgg = obs.New(obs.Config{Sources: sources, SLOs: spec.SLOs})
 	// Everything above adopted already-running pieces; Start just flips the
 	// supervisor ready so /readyz-style probes and Healthy report sanely.
 	if err := exp.sup.Start(context.Background()); err != nil {
@@ -194,6 +229,13 @@ func Build(spec Spec) (*Experiment, error) {
 // Supervisor exposes the experiment's component tree (for probe handlers
 // and shutdown smokes).
 func (e *Experiment) Supervisor() *runtime.Supervisor { return e.sup }
+
+// Obs returns the experiment's observability aggregator: cross-site merged
+// metrics, per-site health, rate rings, and the SLO verdict. It is wired
+// over every site plus the coordinator but its scrape loop is not running;
+// call Start on it (or adopt it into a supervisor) for live aggregation,
+// or ScrapeOnce for a point-in-time view.
+func (e *Experiment) Obs() *obs.Aggregator { return e.obsAgg }
 
 // Healthy aggregates component health across every site.
 func (e *Experiment) Healthy() error { return e.sup.Healthy() }

@@ -431,6 +431,8 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	site.Tracer = trace.NewTracer(spec.Name, site.SpanRecorder)
 	site.Hub.UseTracer(site.Tracer)
 	site.Hub.UseTelemetry(site.Telemetry, "hub")
+	// Pre-register at zero: a site that never restarted exports the series.
+	site.Telemetry.Counter("most.site.restarts")
 
 	backend, err := buildBackend(spec, site)
 	if err != nil {
@@ -537,7 +539,7 @@ func (s *Site) coordSite(cred *gsi.Credential, trust *gsi.TrustStore, retry core
 	og.Tracer = tracer
 	return coord.Site{
 		Name:         s.Spec.Name,
-		Client:       core.NewClientWithTelemetry(og, retry, reg),
+		Client:       core.NewClientWithTelemetry(og, retry, reg).LabelSite(s.Spec.Name),
 		ControlPoint: s.Spec.Point,
 		DOFs:         append([]int(nil), s.Spec.DOFs...),
 	}

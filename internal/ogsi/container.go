@@ -8,7 +8,6 @@ import (
 	"io"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -239,7 +238,9 @@ func (c *Container) Tracer() *trace.Tracer {
 // verified-chain cache totals into it, so /metrics and the computed
 // "metrics" SDE expose the security hot-path hit rate alongside the
 // per-op counters. Gauges (not counters) because the trust store may be
-// shared between containers and the totals are store-wide.
+// shared between containers and the totals are store-wide. Process
+// self-metrics refresh here too, so container-hosted daemons export the
+// process.* gauges the obs aggregator's health view reads.
 func (c *Container) metricsSnapshot() telemetry.Snapshot {
 	tel := c.Telemetry()
 	if c.trust != nil {
@@ -247,6 +248,7 @@ func (c *Container) metricsSnapshot() telemetry.Snapshot {
 		tel.Gauge("gsi.chaincache.hits").Set(float64(hits))
 		tel.Gauge("gsi.chaincache.misses").Set(float64(misses))
 	}
+	telemetry.ProcessMetrics(tel)
 	return tel.Snapshot()
 }
 
@@ -581,23 +583,11 @@ func (c *Container) Healthy() error {
 
 // serveMetrics renders the container's telemetry registry on GET /metrics.
 // Unlike /ogsi it is unsigned: metrics are operational data for dashboards
-// and the mostctl metrics command, not control traffic. The default
-// rendering is indented JSON; a client whose Accept header asks for
-// text/plain (a Prometheus scraper) gets the text exposition format.
+// and the mostctl metrics command, not control traffic. The shared
+// telemetry handler speaks indented JSON by default and the Prometheus
+// text exposition on Accept: text/plain.
 func (c *Container) serveMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "ogsi: GET only", http.StatusMethodNotAllowed)
-		return
-	}
-	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
-		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
-		_ = telemetry.WritePrometheus(w, c.metricsSnapshot())
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(c.metricsSnapshot())
+	telemetry.SnapshotHandler(c.metricsSnapshot).ServeHTTP(w, r)
 }
 
 // serveTrace renders the container's recent spans as JSON on GET /trace.

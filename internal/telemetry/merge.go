@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file makes registry snapshots mergeable: N sites' snapshots combine
+// into one exact fleet-wide view. Counters and gauges sum; histograms merge
+// bucket-by-bucket (identical bounds required) and recompute quantiles from
+// the merged vector, so a fleet-wide p99 is the p99 of the union of
+// observations — never an average of per-site quantiles, which has no
+// statistical meaning. Merge is commutative, and associative up to
+// floating-point summation order, so an aggregator may fold sites in any
+// order.
+
+// MergeHistogramSnapshots merges two snapshots of histograms with
+// identical bucket bounds. An empty snapshot (zero observations) is the
+// identity. Snapshots with differing bucket vectors are rejected — merging
+// them would silently misattribute mass.
+func MergeHistogramSnapshots(a, b HistogramSnapshot) (HistogramSnapshot, error) {
+	if a.Count == 0 {
+		return b, nil
+	}
+	if b.Count == 0 {
+		return a, nil
+	}
+	if len(a.Buckets) != len(b.Buckets) {
+		return HistogramSnapshot{}, fmt.Errorf(
+			"telemetry: merge: bucket count mismatch (%d vs %d)", len(a.Buckets), len(b.Buckets))
+	}
+	m := HistogramSnapshot{
+		Count:   a.Count + b.Count,
+		Sum:     a.Sum + b.Sum,
+		Min:     a.Min,
+		Max:     a.Max,
+		Buckets: make([]BucketCount, len(a.Buckets)),
+	}
+	if b.Min < m.Min {
+		m.Min = b.Min
+	}
+	if b.Max > m.Max {
+		m.Max = b.Max
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i].LE != b.Buckets[i].LE {
+			return HistogramSnapshot{}, fmt.Errorf(
+				"telemetry: merge: bucket bound mismatch at %d (%g vs %g)",
+				i, a.Buckets[i].LE, b.Buckets[i].LE)
+		}
+		// Cumulative vectors over identical bounds sum elementwise; the
+		// +Inf overflow accumulates implicitly via Count.
+		m.Buckets[i] = BucketCount{LE: a.Buckets[i].LE, Count: a.Buckets[i].Count + b.Buckets[i].Count}
+	}
+	m.Mean = m.Sum / float64(m.Count)
+	m.P50 = m.Quantile(0.50)
+	m.P95 = m.Quantile(0.95)
+	m.P99 = m.Quantile(0.99)
+	m.Exemplar = mergeExemplars(a.Exemplar, b.Exemplar)
+	return m, nil
+}
+
+// mergeExemplars keeps the slower observation's exemplar; ties break on
+// the lexicographically smaller trace ID so the result is commutative.
+func mergeExemplars(a, b *Exemplar) *Exemplar {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a.Value > b.Value:
+		return a
+	case b.Value > a.Value:
+		return b
+	case a.TraceID <= b.TraceID:
+		return a
+	default:
+		return b
+	}
+}
+
+// MergeSnapshots merges two registry snapshots into one fleet-wide view:
+// counters and gauges sum (a gauge like process.goroutines becomes the
+// fleet total), histograms merge exactly per MergeHistogramSnapshots, and
+// events interleave in timestamp order. Missing metrics on either side are
+// treated as zero/absent. The first histogram bound mismatch aborts the
+// merge with an error naming the metric.
+func MergeSnapshots(a, b Snapshot) (Snapshot, error) {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(a.Counters)+len(b.Counters)),
+		Gauges:     make(map[string]float64, len(a.Gauges)+len(b.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(a.Histograms)+len(b.Histograms)),
+	}
+	for k, v := range a.Counters {
+		out.Counters[k] = v
+	}
+	for k, v := range b.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range a.Gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range b.Gauges {
+		out.Gauges[k] += v
+	}
+	for k, v := range a.Histograms {
+		out.Histograms[k] = v
+	}
+	for k, v := range b.Histograms {
+		prev, ok := out.Histograms[k]
+		if !ok {
+			out.Histograms[k] = v
+			continue
+		}
+		m, err := MergeHistogramSnapshots(prev, v)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("histogram %s: %w", k, err)
+		}
+		out.Histograms[k] = m
+	}
+	out.Events = mergeEvents(a.Events, b.Events)
+	return out, nil
+}
+
+// MergeAll folds any number of snapshots (zero snapshots merge to an empty
+// one).
+func MergeAll(snaps ...Snapshot) (Snapshot, error) {
+	var out Snapshot
+	var err error
+	for i, s := range snaps {
+		if i == 0 {
+			out = s
+			continue
+		}
+		out, err = MergeSnapshots(out, s)
+		if err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return out, nil
+}
+
+// mergeEvents interleaves two already-ordered event slices by timestamp
+// (ties keep a-before-b order, then are normalized by a stable sort on
+// component/event so the merge stays commutative).
+func mergeEvents(a, b []Event) []Event {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Event, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if !out[i].TS.Equal(out[j].TS) {
+			return out[i].TS.Before(out[j].TS)
+		}
+		if out[i].Component != out[j].Component {
+			return out[i].Component < out[j].Component
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}

@@ -19,9 +19,48 @@ const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
 // charset (dots become underscores). Events are not exported — they are a
 // log, not a metric.
 func WritePrometheus(w io.Writer, s Snapshot) error {
+	return writePrometheus(w, s, "")
+}
+
+// WritePrometheusLabeled renders a snapshot with a constant label pair on
+// every series (e.g. site="ann-arbor"), and without # TYPE comments: the
+// obs aggregator emits the merged fleet snapshot via WritePrometheus
+// first, then each site's snapshot through this, so per-site series of
+// the same metric ride under the fleet series' single TYPE declaration.
+// An empty labelKey falls back to WritePrometheus.
+func WritePrometheusLabeled(w io.Writer, s Snapshot, labelKey, labelValue string) error {
+	if labelKey == "" {
+		return WritePrometheus(w, s)
+	}
+	return writePrometheus(w, s, fmt.Sprintf("%s=%q", promName(labelKey), labelValue))
+}
+
+func writePrometheus(w io.Writer, s Snapshot, labels string) error {
+	// brace renders the label set for a plain series ({site="a"}) and
+	// bucket joins it with the le label ({site="a",le="0.01"}).
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	bucket := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("{le=%q}", le)
+		}
+		return fmt.Sprintf("{%s,le=%q}", labels, le)
+	}
+	typeLine := func(pn, kind string) error {
+		if labels != "" {
+			return nil // TYPE already declared by the unlabeled fleet series
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+		return err
+	}
 	for _, name := range s.CounterNames() {
 		pn := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if err := typeLine(pn, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, brace, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -32,25 +71,28 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(gauges)
 	for _, name := range gauges {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+		if err := typeLine(pn, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", pn, brace, promFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
 	for _, name := range s.HistogramNames() {
 		h := s.Histograms[name]
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if err := typeLine(pn, "histogram"); err != nil {
 			return err
 		}
 		for _, b := range h.Buckets {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(b.LE), b.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, bucket(promFloat(b.LE)), b.Count); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, bucket("+Inf"), h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n", pn, brace, promFloat(h.Sum), pn, brace, h.Count); err != nil {
 			return err
 		}
 	}

@@ -35,6 +35,45 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ntcp.server.proposed").Add(7)
+	r.Gauge("nsds.subscribers").Set(3)
+	h := r.Histogram("ogsi.echo.seconds", 0.001, 0.01)
+	h.Observe(0.0005)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := WritePrometheusLabeled(&b, r.Snapshot(), "site", "mini-most"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"ntcp_server_proposed_total{site=\"mini-most\"} 7\n",
+		"nsds_subscribers{site=\"mini-most\"} 3\n",
+		`ogsi_echo_seconds_bucket{site="mini-most",le="0.001"} 1`,
+		`ogsi_echo_seconds_bucket{site="mini-most",le="+Inf"} 2`,
+		"ogsi_echo_seconds_sum{site=\"mini-most\"} 2.0005\n",
+		"ogsi_echo_seconds_count{site=\"mini-most\"} 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Labeled series never re-declare TYPE — the fleet series already did.
+	if strings.Contains(out, "# TYPE") {
+		t.Fatalf("labeled exposition must not emit TYPE comments:\n%s", out)
+	}
+	// Empty label key falls back to the plain exposition.
+	b.Reset()
+	if err := WritePrometheusLabeled(&b, r.Snapshot(), "", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "# TYPE ntcp_server_proposed_total counter") {
+		t.Fatalf("empty-key fallback should match WritePrometheus:\n%s", b.String())
+	}
+}
+
 func TestPromName(t *testing.T) {
 	cases := map[string]string{
 		"ntcp.server.proposed": "ntcp_server_proposed",

@@ -79,7 +79,24 @@ type Histogram struct {
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
 	min    atomic.Uint64 // float64 bits
 	max    atomic.Uint64 // float64 bits
+	// ex is the retained exemplar: the trace of the slowest recent
+	// observation (see ObserveExemplar). Best-effort and lock-free.
+	ex atomic.Pointer[Exemplar]
 }
+
+// Exemplar links a histogram to the trace of its slowest recent
+// observation, so a fleet-wide p99 resolves directly to a `mostctl trace`
+// timeline of the offending step.
+type Exemplar struct {
+	TraceID string    `json:"trace_id"`
+	Value   float64   `json:"value"`
+	TS      time.Time `json:"ts"`
+}
+
+// ExemplarTTL bounds how long an exemplar shields itself from replacement:
+// after this long even a faster observation takes over, so the exemplar
+// tracks the slowest *recent* observation rather than the all-time worst.
+const ExemplarTTL = time.Minute
 
 func newHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
@@ -122,6 +139,33 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records one value and, when traceID is non-empty, offers
+// it as the histogram's exemplar. The exemplar is replaced when the new
+// observation is at least as slow as the retained one, or when the
+// retained one has aged past ExemplarTTL. The fast path (a value smaller
+// than a fresh exemplar) costs one atomic load and one clock read on top
+// of Observe; replacement allocates.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	for {
+		cur := h.ex.Load()
+		if cur != nil && v < cur.Value && time.Since(cur.TS) < ExemplarTTL {
+			return
+		}
+		if h.ex.CompareAndSwap(cur, &Exemplar{TraceID: traceID, Value: v, TS: time.Now()}) {
+			return
+		}
+	}
+}
+
+// ObserveDurationExemplar is ObserveExemplar for a duration in seconds.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, traceID string) {
+	h.ObserveExemplar(d.Seconds(), traceID)
+}
+
 // Time runs fn and records its wall-clock duration.
 func (h *Histogram) Time(fn func()) {
 	start := time.Now()
@@ -136,7 +180,10 @@ type BucketCount struct {
 	Count int64   `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time summary of a histogram.
+// HistogramSnapshot is a point-in-time summary of a histogram. It carries
+// the full cumulative bucket vector, so two snapshots with identical bounds
+// can be merged exactly (see MergeHistogramSnapshots) and quantiles can be
+// recomputed from the merged vector — never averaged.
 type HistogramSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
@@ -150,6 +197,9 @@ type HistogramSnapshot struct {
 	// implicit +Inf bucket is Count (and is omitted here so the snapshot
 	// stays encodable by encoding/json, which rejects infinities).
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Exemplar is the trace of the slowest recent observation, when the
+	// histogram was fed through ObserveExemplar.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot summarizes the histogram. Quantiles are bucket-interpolated; the
@@ -170,36 +220,43 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Max:   math.Float64frombits(h.max.Load()),
 	}
 	snap.Mean = snap.Sum / float64(n)
-	snap.P50 = h.quantile(counts, n, snap, 0.50)
-	snap.P95 = h.quantile(counts, n, snap, 0.95)
-	snap.P99 = h.quantile(counts, n, snap, 0.99)
+	snap.P50 = bucketQuantile(h.bounds, counts, n, snap.Min, snap.Max, 0.50)
+	snap.P95 = bucketQuantile(h.bounds, counts, n, snap.Min, snap.Max, 0.95)
+	snap.P99 = bucketQuantile(h.bounds, counts, n, snap.Min, snap.Max, 0.99)
 	snap.Buckets = make([]BucketCount, len(h.bounds))
 	var cum int64
 	for i, b := range h.bounds {
 		cum += counts[i]
 		snap.Buckets[i] = BucketCount{LE: b, Count: cum}
 	}
+	snap.Exemplar = h.ex.Load()
 	return snap
 }
 
-func (h *Histogram) quantile(counts []int64, n int64, snap HistogramSnapshot, q float64) float64 {
+// bucketQuantile interpolates quantile q from a per-bucket count vector
+// (len(bounds)+1, the last entry being the +Inf overflow). It depends only
+// on (bounds, counts, min, max), so a quantile computed from a merged
+// snapshot's bucket vector is bit-identical to one computed from a single
+// histogram fed the union of observations — the property the obs
+// aggregator's exact fleet-wide percentiles rest on.
+func bucketQuantile(bounds []float64, counts []int64, n int64, min, max float64, q float64) float64 {
 	rank := q * float64(n)
 	var seen float64
 	for i, c := range counts {
 		if c == 0 {
 			continue
 		}
-		lo := snap.Min
-		if i > 0 && h.bounds[i-1] > lo {
+		lo := min
+		if i > 0 && bounds[i-1] > lo {
 			// The bucket's lower bound, but never below the observed
 			// minimum — with all mass in one high bucket (e.g. a single
 			// observation, or everything in the +Inf overflow) the bucket
 			// edge would otherwise drag the estimate under Min.
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := snap.Max
-		if i < len(h.bounds) && h.bounds[i] < hi {
-			hi = h.bounds[i]
+		hi := max
+		if i < len(bounds) && bounds[i] < hi {
+			hi = bounds[i]
 		}
 		if lo > hi {
 			lo = hi
@@ -210,7 +267,33 @@ func (h *Histogram) quantile(counts []int64, n int64, snap HistogramSnapshot, q 
 		}
 		seen += float64(c)
 	}
-	return snap.Max
+	return max
+}
+
+// perBucket reconstructs the per-bucket count vector (including the +Inf
+// overflow) and bounds from a snapshot's cumulative buckets.
+func (s HistogramSnapshot) perBucket() (bounds []float64, counts []int64) {
+	bounds = make([]float64, len(s.Buckets))
+	counts = make([]int64, len(s.Buckets)+1)
+	var prev int64
+	for i, b := range s.Buckets {
+		bounds[i] = b.LE
+		counts[i] = b.Count - prev
+		prev = b.Count
+	}
+	counts[len(s.Buckets)] = s.Count - prev // +Inf overflow
+	return bounds, counts
+}
+
+// Quantile recomputes quantile q from the snapshot's bucket vector using
+// the same interpolation as Histogram.Snapshot. Zero-count snapshots
+// return 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	bounds, counts := s.perBucket()
+	return bucketQuantile(bounds, counts, s.Count, s.Min, s.Max, q)
 }
 
 // Event is one structured event-log entry.
