@@ -1,0 +1,160 @@
+// Command fleetd runs the multi-tenant experiment fleet scheduler: a
+// shared pool of NTCP sites, a weighted fair-share scheduler admitting
+// jobs from declared tenants, and an observability aggregator that scrapes
+// every pool slot and ingests each finished run's pushed roll-up. One
+// listener serves everything:
+//
+//	POST /submit /cancel        job admission and withdrawal (mostctl fleet)
+//	GET  /jobs /job /grants     job listings and the grant-order observable
+//	GET  /fleet /metrics /slo   the fleet observability plane (mostctl top)
+//	POST /push?site=            roll-up ingestion from experiment runners
+//	GET  /healthz /readyz       supervisor probes
+//
+// Example:
+//
+//	fleetd -listen 127.0.0.1:9190 -slots 2 -tenants alpha:1,beta:1 -store /tmp/fleet
+//	mostctl fleet -url http://127.0.0.1:9190 -submit -tenant alpha -steps 200
+//
+// SIGINT/SIGTERM drain the process: the scheduler stops admitting and
+// cancels running jobs, the aggregator stops scraping, the pool's sites
+// tear down, and the API listener closes last so probes answer through
+// the drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"neesgrid/internal/fleet"
+	"neesgrid/internal/obs"
+	"neesgrid/internal/runtime"
+	"neesgrid/internal/telemetry"
+	"neesgrid/internal/trace"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:9190", "fleet API listen address")
+	slots := flag.Int("slots", 2, "pooled site slots")
+	tenants := flag.String("tenants", "alpha:1,beta:1",
+		"admitted tenants as name:weight[,name:weight...]")
+	maxQueue := flag.Int("max-queue", fleet.DefaultMaxQueued, "per-tenant queued-job bound")
+	store := flag.String("store", "", "tenant-scoped job store root (checkpoints; empty = off)")
+	var debugFlags runtime.DebugFlags
+	debugFlags.Register(nil)
+	flag.Parse()
+
+	ts, err := parseTenants(*tenants, *maxQueue)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		return 2
+	}
+
+	reg := telemetry.NewRegistry()
+	rec := trace.NewRecorder(0)
+	sup := runtime.NewSupervisor("fleetd")
+	ds := debugFlags.Install(sup, rec)
+
+	pool, err := fleet.NewPool(fleet.PoolConfig{Slots: *slots, Registry: reg})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: pool: %v\n", err)
+		return 1
+	}
+
+	// The fleet plane: every pool slot is a pull source (the slots'
+	// registries carry the server-side ntcp.server.* / hub series across
+	// all tenants), the scheduler's own fleet.* registry rides along
+	// in-process, and finished runs push their coordinator-side roll-ups
+	// to /push as <tenant>/<jobID> sources.
+	var sources []obs.Source
+	for _, site := range pool.Sites() {
+		sources = append(sources, obs.Source{
+			Name: site.Spec.Name,
+			URL:  "http://" + site.Addr + "/metrics",
+		})
+	}
+	sources = append(sources, obs.Source{
+		Name: "fleetd",
+		Fetch: func() telemetry.Snapshot {
+			telemetry.ProcessMetrics(reg)
+			return reg.Snapshot()
+		},
+	})
+	agg := obs.New(obs.Config{Sources: sources})
+
+	sched, err := fleet.NewScheduler(fleet.Config{
+		Pool:      pool,
+		Tenants:   ts,
+		StoreRoot: *store,
+		Agg:       agg,
+		Registry:  reg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetd: %v\n", err)
+		_ = pool.Stop(context.Background())
+		return 1
+	}
+
+	mux := sched.Mux(agg.Mux())
+	sup.RegisterProbes(mux)
+	api := runtime.NewDebugServer(*listen, mux)
+
+	// Start order: API listener first (registered first, stopped last, so
+	// probes answer through the drain), then the already-running pool,
+	// then the aggregator's scrape loop, then the scheduler — which stops
+	// first on drain, cancelling jobs before their sites tear down.
+	sup.Add("api", runtime.Funcs{
+		StartFunc: func(ctx context.Context) error {
+			if err := api.Start(ctx); err != nil {
+				return err
+			}
+			fmt.Printf("fleetd: %d-slot pool, tenants %s\n", pool.Size(), *tenants)
+			fmt.Printf("fleetd: API at http://%s (/submit /jobs /grants /fleet /metrics /push /healthz)\n", api.Addr())
+			if ds != nil {
+				fmt.Printf("fleetd: pprof at http://%s/debug/pprof/\n", ds.Addr())
+			}
+			return nil
+		},
+		StopFunc:    api.Stop,
+		HealthyFunc: api.Healthy,
+	})
+	sup.Adopt("pool", runtime.Funcs{
+		StopFunc:    pool.Stop,
+		HealthyFunc: pool.Healthy,
+	}, runtime.WithDrain(pool.StopBudget()))
+	sup.Add("obs", agg)
+	sup.Add("scheduler", sched)
+
+	return runtime.Main("fleetd", sup, nil)
+}
+
+// parseTenants reads "name:weight,name:weight" (weight optional,
+// default 1).
+func parseTenants(s string, maxQueued int) ([]fleet.Tenant, error) {
+	var out []fleet.Tenant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		t := fleet.Tenant{Name: name, Weight: 1, MaxQueued: maxQueued}
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("tenant %q: bad weight %q", name, weightStr)
+			}
+			t.Weight = w
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants needs at least one tenant")
+	}
+	return out, nil
+}

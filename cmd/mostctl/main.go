@@ -15,6 +15,8 @@
 //	mostctl metrics -url http://127.0.0.1:8080      # inspect a live container
 //	mostctl top -url http://127.0.0.1:9090          # live cross-site dashboard
 //	mostctl top -run                                # self-checking obs smoke
+//	mostctl fleet -run                              # self-checking fleet-scheduling smoke
+//	mostctl fleet -url http://127.0.0.1:9190 -list  # jobs on a running fleetd
 //	mostctl chaos -scenario deploy/scenarios/step-1493.json  # E13: survive 1493
 //
 // SIGINT/SIGTERM interrupt the stepping loop but still flush the response
@@ -56,6 +58,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "top" {
 		topCmd(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		fleetCmd(os.Args[2:])
 		return
 	}
 	os.Exit(runExperiment())

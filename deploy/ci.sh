@@ -1,13 +1,16 @@
 #!/bin/sh
 # Staged CI pipeline. Usage:
 #
-#   deploy/ci.sh                 # default lane (tier 1): vet build test bench smoke obs
+#   deploy/ci.sh                 # default lane (tier 1): vet build test bench smoke obs fleet
 #   deploy/ci.sh chaos           # nightly lane: chaos scenarios, twice each, byte-compared
 #   deploy/ci.sh vet test        # any subset, in the order given
-#   deploy/ci.sh all             # every stage including chaos
+#   deploy/ci.sh all             # every stage including lint and chaos
 #
 # Stages:
 #   vet    - go vet
+#   lint   - pinned staticcheck (network needed on first run to fetch the
+#            tool; the GitHub runners cache it, so it is selectable rather
+#            than part of the offline default lane)
 #   build  - go build everything
 #   test   - full suite under the race detector
 #   bench  - E8/E10 hot-path smoke gated against BENCH_ntcp.json (deploy/benchgate)
@@ -15,12 +18,21 @@
 #   obs    - observability smoke: the aggregator over a two-site run must
 #            serve per-site + fleet-wide merged series, link the fleet p99
 #            to a resolvable exemplar trace, and report an OK SLO verdict
+#   fleet  - multi-tenant scheduling smoke: six experiments from two tenants
+#            over a two-slot shared site pool; oversubscription must queue,
+#            grants must alternate tenants (weighted fair share), every job
+#            must complete, and the fleet aggregator must serve the six
+#            pushed roll-ups with exactly-merged counters
 #   chaos  - step-1493 (classic, pipelined, and relay-topology lanes) and
 #            partition scenarios, each run twice; the two verdict reports
 #            must be byte-identical (determinism gate)
 #
 # Every stage is timed; a summary table prints at the end. The pipeline
 # stops at the first failing stage.
+#
+# When CI_ARTIFACTS is set to a directory, failing stages copy their
+# captured output (smoke logs, diverging chaos verdicts) there so the
+# workflow can upload them as build artifacts.
 set -u
 
 cd "$(dirname "$0")/.."
@@ -28,8 +40,25 @@ cd "$(dirname "$0")/.."
 SUMMARY=""
 OVERALL=0
 
+# STATICCHECK_VERSION pins the lint toolchain; bump deliberately, with the
+# fix-up commit for any new findings.
+STATICCHECK_VERSION=2025.1.1
+
+# save_artifact FILE NAME copies a failing stage's evidence into
+# CI_ARTIFACTS (no-op when unset).
+save_artifact() {
+    [ -n "${CI_ARTIFACTS:-}" ] || return 0
+    mkdir -p "$CI_ARTIFACTS" && cp "$1" "$CI_ARTIFACTS/$2" 2>/dev/null || true
+}
+
 stage_vet() {
     go vet ./...
+}
+
+stage_lint() {
+    # Pinned so a new staticcheck release cannot turn the lane red on its
+    # own schedule; `go run` fetches (and caches) exactly this version.
+    go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
 }
 
 stage_build() {
@@ -59,6 +88,7 @@ stage_smoke() {
     if ! go run ./cmd/mostctl trace -run -steps 5 >"$tmp" 2>&1; then
         echo "trace smoke failed; captured output:"
         cat "$tmp"
+        save_artifact "$tmp" trace-smoke.log
         rm -f "$tmp"
         return 1
     fi
@@ -82,6 +112,7 @@ stage_obs() {
     if ! go run ./cmd/mostctl top -run -steps 15 >"$tmp" 2>&1; then
         echo "obs smoke failed; captured output:"
         cat "$tmp"
+        save_artifact "$tmp" obs-smoke.log
         rm -f "$tmp"
         return 1
     fi
@@ -92,6 +123,37 @@ stage_obs() {
         if ! grep -q "$needle" "$tmp"; then
             echo "obs smoke output missing '$needle':"
             cat "$tmp"
+            save_artifact "$tmp" obs-smoke.log
+            rc=1
+            break
+        fi
+    done
+    rm -f "$tmp"
+    return $rc
+}
+
+stage_fleet() {
+    # Fleet scheduling smoke: `mostctl fleet -run` submits six experiments
+    # from two equal-weight tenants against a two-slot shared site pool,
+    # then self-checks: admission queues the 3x oversubscription, grants
+    # alternate tenants (weighted round-robin, FIFO within one) in a
+    # deterministic order, all six jobs complete every step on the shared
+    # slots, each run's roll-up reaches the fleet aggregator over the real
+    # HTTP push path, and the merged fleet view sums the six runs exactly.
+    tmp=$(mktemp) || return 1
+    if ! go run ./cmd/mostctl fleet -run -steps 25 >"$tmp" 2>&1; then
+        echo "fleet smoke failed; captured output:"
+        cat "$tmp"
+        save_artifact "$tmp" fleet-smoke.log
+        rm -f "$tmp"
+        return 1
+    fi
+    rc=0
+    for needle in 'grant order' 'fleet roll-up' 'fleet check passed'; do
+        if ! grep -q "$needle" "$tmp"; then
+            echo "fleet smoke output missing '$needle':"
+            cat "$tmp"
+            save_artifact "$tmp" fleet-smoke.log
             rc=1
             break
         fi
@@ -118,6 +180,8 @@ stage_chaos() {
         if ! cmp "$out/$sc-1.json" "$out/$sc-2.json"; then
             echo "scenario $sc: verdicts differ between identical runs (determinism broken)"
             diff "$out/$sc-1.json" "$out/$sc-2.json" || true
+            save_artifact "$out/$sc-1.json" "$sc-verdict-1.json"
+            save_artifact "$out/$sc-2.json" "$sc-verdict-2.json"
             rc=1
             break
         fi
@@ -155,16 +219,16 @@ finish() {
 }
 
 if [ $# -eq 0 ]; then
-    set -- vet build test bench smoke obs
+    set -- vet build test bench smoke obs fleet
 elif [ "$1" = all ]; then
-    set -- vet build test bench smoke obs chaos
+    set -- vet lint build test bench smoke obs fleet chaos
 fi
 
 for stage in "$@"; do
     case "$stage" in
-    vet | build | test | bench | smoke | obs | chaos) ;;
+    vet | lint | build | test | bench | smoke | obs | fleet | chaos) ;;
     *)
-        echo "ci: unknown stage '$stage' (stages: vet build test bench smoke obs chaos)" >&2
+        echo "ci: unknown stage '$stage' (stages: vet lint build test bench smoke obs fleet chaos)" >&2
         exit 2
         ;;
     esac

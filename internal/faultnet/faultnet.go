@@ -130,6 +130,20 @@ func (in *Injector) SetExtraDelay(d time.Duration) {
 	in.extraDelay = d
 }
 
+// ClearFaults disarms everything scheduled on the injector — pending
+// FailNext budget, a standing outage, scheduled windows, and extra delay —
+// without touching the seeded jitter stream or the lifetime counters. The
+// shared site pool calls it on lease release so a tenant whose run died
+// under an armed fault hands the next tenant a clean network.
+func (in *Injector) ClearFaults() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.failNext = 0
+	in.outage = false
+	in.windows = nil
+	in.extraDelay = 0
+}
+
 // ExtraDelay returns the current extra per-call delay.
 func (in *Injector) ExtraDelay() time.Duration {
 	in.mu.Lock()

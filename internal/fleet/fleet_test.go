@@ -1,0 +1,274 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"neesgrid/internal/telemetry"
+)
+
+func newTestPool(t *testing.T, slots int, reg *telemetry.Registry) *Pool {
+	t.Helper()
+	pool, err := NewPool(PoolConfig{Slots: slots, Registry: reg})
+	if err != nil {
+		t.Fatalf("NewPool: %v", err)
+	}
+	t.Cleanup(func() { _ = pool.Stop(context.Background()) })
+	return pool
+}
+
+func startScheduler(t *testing.T, s *Scheduler) {
+	t.Helper()
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Stop(ctx)
+	})
+}
+
+func waitAll(t *testing.T, s *Scheduler) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v (jobs: %+v)", err, s.Jobs())
+	}
+}
+
+// Admission control: a tenant's backlog is bounded; the scheduler rejects
+// past the bound and counts the rejection, without disturbing the queued
+// work. Unknown tenants and unsatisfiable slot counts are rejected too.
+func TestAdmissionRejectsWhenQueueFull(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	pool := newTestPool(t, 1, reg)
+	s, err := NewScheduler(Config{
+		Pool:     pool,
+		Tenants:  []Tenant{{Name: "alpha", MaxQueued: 2}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	// Not started: everything queues, nothing drains — the bound is hit
+	// deterministically.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Request{Tenant: "alpha", Steps: 3}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(Request{Tenant: "alpha", Steps: 3}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-quota submit: err=%v, want ErrQueueFull", err)
+	}
+	if _, err := s.Submit(Request{Tenant: "nobody", Steps: 3}); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: err=%v, want ErrUnknownTenant", err)
+	}
+	if _, err := s.Submit(Request{Tenant: "alpha", Slots: 2, Steps: 3}); err == nil {
+		t.Fatal("2-slot request against a 1-slot pool was admitted")
+	}
+	if got := reg.Counter("fleet.jobs.rejected").Value(); got != 3 {
+		t.Fatalf("fleet.jobs.rejected = %d, want 3", got)
+	}
+	if got := reg.Gauge("fleet.jobs.queued").Value(); got != 2 {
+		t.Fatalf("fleet.jobs.queued = %g, want 2", got)
+	}
+}
+
+// Fair share: six jobs from two equal-weight tenants over a two-slot pool
+// grant in strict alternation while both queues are nonempty, FIFO within
+// each tenant, regardless of completion timing.
+func TestFairShareOrderingAcrossTenants(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	pool := newTestPool(t, 2, reg)
+	s, err := NewScheduler(Config{
+		Pool:     pool,
+		Tenants:  []Tenant{{Name: "alpha", Weight: 1}, {Name: "beta", Weight: 1}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		job, err := s.Submit(Request{Tenant: "alpha", Name: "a", Steps: 4})
+		if err != nil {
+			t.Fatalf("submit alpha: %v", err)
+		}
+		jobs = append(jobs, job)
+	}
+	for i := 0; i < 2; i++ {
+		job, err := s.Submit(Request{Tenant: "beta", Name: "b", Steps: 4})
+		if err != nil {
+			t.Fatalf("submit beta: %v", err)
+		}
+		jobs = append(jobs, job)
+	}
+	startScheduler(t, s)
+	waitAll(t, s)
+
+	want := "alpha beta alpha beta alpha alpha"
+	if got := strings.Join(s.GrantOrder(), " "); got != want {
+		t.Fatalf("grant order %q, want %q", got, want)
+	}
+	// FIFO within a tenant: alpha's jobs carry strictly increasing Seq in
+	// submission order, and every job completed.
+	lastAlpha := -1
+	for _, job := range jobs {
+		view, ok := s.Job(job.ID)
+		if !ok {
+			t.Fatalf("job %s vanished", job.ID)
+		}
+		if view.State != StateDone {
+			t.Fatalf("job %s state=%s err=%q, want done", view.ID, view.State, view.Err)
+		}
+		if view.Tenant == "alpha" {
+			if view.Seq <= lastAlpha {
+				t.Fatalf("alpha job %s granted out of FIFO order (seq %d after %d)",
+					view.ID, view.Seq, lastAlpha)
+			}
+			lastAlpha = view.Seq
+		}
+	}
+}
+
+// Weighted share: with two free slots and weight 2, a tenant takes two
+// consecutive grants per turn before the rotation moves on.
+func TestWeightedGrantBurst(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	pool := newTestPool(t, 2, reg)
+	s, err := NewScheduler(Config{
+		Pool:     pool,
+		Tenants:  []Tenant{{Name: "alpha", Weight: 2}, {Name: "beta", Weight: 1}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(Request{Tenant: "alpha", Steps: 4}); err != nil {
+			t.Fatalf("submit alpha: %v", err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(Request{Tenant: "beta", Steps: 4}); err != nil {
+			t.Fatalf("submit beta: %v", err)
+		}
+	}
+	startScheduler(t, s)
+	waitAll(t, s)
+
+	// Initial pass: alpha bursts both slots. Each completion then frees
+	// one slot at a time, so later turns grant singly — but the rotation
+	// still alternates tenants from wherever the cursor stopped.
+	want := "alpha alpha beta alpha beta alpha"
+	if got := strings.Join(s.GrantOrder(), " "); got != want {
+		t.Fatalf("grant order %q, want %q", got, want)
+	}
+}
+
+// Release on failure: a job that dies mid-run (fatal outage, no retries)
+// must return its slot — with armed faults cleared and the specimen reset
+// — so the next queued job runs to completion on the same slot.
+func TestSlotReleasedAfterMidRunFailure(t *testing.T) {
+	t.Parallel()
+	reg := telemetry.NewRegistry()
+	pool := newTestPool(t, 1, reg)
+	s, err := NewScheduler(Config{
+		Pool:     pool,
+		Tenants:  []Tenant{{Name: "alpha"}},
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	doomed, err := s.Submit(Request{Tenant: "alpha", Name: "doomed", Steps: 8, FailAt: 3})
+	if err != nil {
+		t.Fatalf("submit doomed: %v", err)
+	}
+	survivor, err := s.Submit(Request{Tenant: "alpha", Name: "survivor", Steps: 8})
+	if err != nil {
+		t.Fatalf("submit survivor: %v", err)
+	}
+	startScheduler(t, s)
+	waitAll(t, s)
+
+	if view, _ := s.Job(doomed.ID); view.State != StateFailed {
+		t.Fatalf("doomed job state=%s err=%q, want failed", view.State, view.Err)
+	}
+	if view, _ := s.Job(survivor.ID); view.State != StateDone || view.StepsDone != 8 {
+		t.Fatalf("survivor state=%s steps=%d err=%q, want done 8/8 on the released slot",
+			view.State, view.StepsDone, view.Err)
+	}
+	if free := pool.Free(); free != 1 {
+		t.Fatalf("pool has %d free slots after drain, want 1", free)
+	}
+	if got := reg.Counter("fleet.leases.released").Value(); got != 2 {
+		t.Fatalf("fleet.leases.released = %d, want 2", got)
+	}
+	// The fatal outage armed by the doomed run must not leak into the
+	// slot's next lease.
+	for _, site := range pool.Sites() {
+		site.Injector.ClearFaults() // idempotent; the release already did this
+	}
+}
+
+// Tenant isolation on disk: two tenants reusing the same run name — and
+// one tenant reusing its own — never collide on store paths; every job
+// writes its checkpoint under its own tenant-prefixed directory.
+func TestTenantStorePathsNeverCollide(t *testing.T) {
+	t.Parallel()
+	store := t.TempDir()
+	reg := telemetry.NewRegistry()
+	pool := newTestPool(t, 2, reg)
+	s, err := NewScheduler(Config{
+		Pool:      pool,
+		Tenants:   []Tenant{{Name: "alpha"}, {Name: "beta"}},
+		StoreRoot: store,
+		Registry:  reg,
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	var jobs []*Job
+	for _, tenant := range []string{"alpha", "alpha", "beta"} {
+		job, err := s.Submit(Request{Tenant: tenant, Name: "run", Steps: 4})
+		if err != nil {
+			t.Fatalf("submit %s: %v", tenant, err)
+		}
+		jobs = append(jobs, job)
+	}
+	startScheduler(t, s)
+	waitAll(t, s)
+
+	seen := map[string]string{}
+	for _, job := range jobs {
+		view, _ := s.Job(job.ID)
+		if view.State != StateDone {
+			t.Fatalf("job %s state=%s err=%q, want done", view.ID, view.State, view.Err)
+		}
+		if view.Store == "" {
+			t.Fatalf("job %s has no store prefix", view.ID)
+		}
+		wantPrefix := filepath.Join(store, view.Tenant) + string(filepath.Separator)
+		if !strings.HasPrefix(view.Store, wantPrefix) {
+			t.Fatalf("job %s store %q not under tenant prefix %q", view.ID, view.Store, wantPrefix)
+		}
+		if prev, dup := seen[view.Store]; dup {
+			t.Fatalf("jobs %s and %s share store path %q", prev, view.ID, view.Store)
+		}
+		seen[view.Store] = view.ID
+		if _, err := os.Stat(filepath.Join(view.Store, "checkpoint.json")); err != nil {
+			t.Fatalf("job %s checkpoint: %v", view.ID, err)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -453,7 +454,11 @@ func (ts *TrustStore) OpenInfo(env *Envelope, now time.Time) (payload []byte, id
 
 // Gridmap maps Grid identities to site-local account names — the classic
 // GSI gridmap file. A site only accepts identities present in its map.
+// Entries may be added and revoked while the site is serving (a pooled
+// site authorizes each tenant's coordinator for the duration of its
+// lease), so the map is safe for concurrent use.
 type Gridmap struct {
+	mu      sync.RWMutex
 	entries map[string]string
 }
 
@@ -467,12 +472,27 @@ func NewGridmap(entries map[string]string) *Gridmap {
 }
 
 // Map adds or replaces a mapping.
-func (g *Gridmap) Map(identity, account string) { g.entries[identity] = account }
+func (g *Gridmap) Map(identity, account string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries[identity] = account
+}
+
+// Unmap revokes a mapping — the lease-release path of a shared site pool:
+// a tenant's coordinator identity stops being accepted the moment its
+// experiment's slots are returned. Unknown identities are a no-op.
+func (g *Gridmap) Unmap(identity string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.entries, identity)
+}
 
 // Authorize returns the local account mapped to identity, or
 // ErrNotAuthorized.
 func (g *Gridmap) Authorize(identity string) (string, error) {
+	g.mu.RLock()
 	acct, ok := g.entries[identity]
+	g.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrNotAuthorized, identity)
 	}

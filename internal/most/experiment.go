@@ -141,6 +141,53 @@ type Experiment struct {
 	stopFeeds []runtime.Component
 }
 
+// newExperiment allocates the coordinator-side state shared by Build and
+// BuildShared.
+func newExperiment(spec Spec, ca *gsi.Authority, trust *gsi.TrustStore, cred *gsi.Credential) *Experiment {
+	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: cred,
+		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry(),
+		TraceRecorder: trace.NewRecorder(0),
+		sup:           runtime.NewSupervisor("experiment:" + spec.Name)}
+	exp.Tracer = trace.NewTracer("coordinator", exp.TraceRecorder)
+	return exp
+}
+
+// wireSiteFeed subscribes the experiment viewer to a site's outermost
+// stream tier and registers the drain component for end-of-run flushing.
+func (e *Experiment) wireSiteFeed(site *Site) error {
+	// Viewers subscribe at the outermost stream tier: the relay hub
+	// when the site runs one, the DAQ hub otherwise.
+	sub, err := site.StreamHub().Subscribe(4096)
+	if err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		e.Viewer.FeedFrom(sub.C())
+		close(done)
+	}()
+	feed := runtime.StopFunc(func() {
+		sub.Cancel()
+		<-done
+	})
+	e.stopFeeds = append(e.stopFeeds, feed)
+	e.sup.Adopt("feed:"+site.Spec.Name, feed)
+	return nil
+}
+
+// coordinatorSource is the in-process obs source over the experiment's
+// coordinator-side registry (with process self-metrics refreshed per
+// fetch).
+func (e *Experiment) coordinatorSource() obs.Source {
+	return obs.Source{
+		Name: "coordinator",
+		Fetch: func() telemetry.Snapshot {
+			telemetry.ProcessMetrics(e.Telemetry)
+			return e.Telemetry.Snapshot()
+		},
+	}
+}
+
 // Build starts every site and wires monitoring.
 func Build(spec Spec) (*Experiment, error) {
 	if len(spec.Sites) == 0 {
@@ -155,11 +202,7 @@ func Build(spec Spec) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	exp := &Experiment{Spec: spec, CA: ca, Trust: trust, Cred: coordCred,
-		Viewer: collab.NewViewer(0), Telemetry: telemetry.NewRegistry(),
-		TraceRecorder: trace.NewRecorder(0),
-		sup:           runtime.NewSupervisor("experiment:" + spec.Name)}
-	exp.Tracer = trace.NewTracer("coordinator", exp.TraceRecorder)
+	exp := newExperiment(spec, ca, trust, coordCred)
 	for _, ss := range spec.Sites {
 		site, err := startSite(ca, trust, coordCred.Identity(), ss)
 		if err != nil {
@@ -172,24 +215,10 @@ func Build(spec Spec) (*Experiment, error) {
 			StopFunc:    func(ctx context.Context) error { return site.sup.Stop(ctx) },
 			HealthyFunc: site.Healthy,
 		}, runtime.WithDrain(site.sup.StopBudget()))
-		// Viewers subscribe at the outermost stream tier: the relay hub
-		// when the site runs one, the DAQ hub otherwise.
-		sub, err := site.StreamHub().Subscribe(4096)
-		if err != nil {
+		if err := exp.wireSiteFeed(site); err != nil {
 			exp.Stop()
 			return nil, err
 		}
-		done := make(chan struct{})
-		go func() {
-			exp.Viewer.FeedFrom(sub.C())
-			close(done)
-		}()
-		feed := runtime.StopFunc(func() {
-			sub.Cancel()
-			<-done
-		})
-		exp.stopFeeds = append(exp.stopFeeds, feed)
-		exp.sup.Adopt("feed:"+ss.Name, feed)
 	}
 	if spec.Archive != nil {
 		if err := exp.setupArchive(spec.Archive); err != nil {
@@ -209,13 +238,7 @@ func Build(spec Spec) (*Experiment, error) {
 			URL:  "http://" + s.Addr + "/metrics",
 		})
 	}
-	sources = append(sources, obs.Source{
-		Name: "coordinator",
-		Fetch: func() telemetry.Snapshot {
-			telemetry.ProcessMetrics(exp.Telemetry)
-			return exp.Telemetry.Snapshot()
-		},
-	})
+	sources = append(sources, exp.coordinatorSource())
 	exp.obsAgg = obs.New(obs.Config{Sources: sources, SLOs: spec.SLOs})
 	// Everything above adopted already-running pieces; Start just flips the
 	// supervisor ready so /readyz-style probes and Healthy report sanely.
@@ -224,6 +247,87 @@ func Build(spec Spec) (*Experiment, error) {
 		return nil, err
 	}
 	return exp, nil
+}
+
+// BuildShared wires an experiment over already-running shared sites — the
+// internal/fleet lease path. Unlike Build it does not create sites, does
+// not own their lifecycle (Stop drains the viewer feeds and archive but
+// leaves the sites serving for the next lease), and issues the
+// coordinator credential from the pool's long-lived CA under a
+// tenant-scoped subject (/O=NEES/OU=<tenant>/CN=<run>), mapping that
+// identity into each leased site's gridmap under the tenant's account.
+// Stop revokes the identity again, so a finished (or failed) experiment's
+// coordinator cannot keep driving slots it no longer holds.
+//
+// spec.Sites must be empty: the topology is dictated by the leased sites,
+// and their SiteSpecs are copied in so reports, viewers and coordSite
+// wiring see the same shape Build would have produced. The experiment's
+// observability aggregator covers the coordinator registry only — shared
+// sites' registries accumulate traffic across tenants and belong to the
+// pool's own scrape plane (fleetd), not to any single run's roll-up.
+func BuildShared(spec Spec, ca *gsi.Authority, trust *gsi.TrustStore, tenant string, sites []*Site) (*Experiment, error) {
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("most: shared experiment needs leased sites")
+	}
+	if len(spec.Sites) != 0 {
+		return nil, fmt.Errorf("most: BuildShared derives Spec.Sites from the leased sites; leave it empty")
+	}
+	if tenant == "" {
+		return nil, fmt.Errorf("most: shared experiment needs a tenant")
+	}
+	cred, err := ca.Issue("/O=NEES/OU="+tenant+"/CN="+spec.Name, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sites {
+		spec.Sites = append(spec.Sites, s.Spec)
+	}
+	exp := newExperiment(spec, ca, trust, cred)
+	identity := cred.Identity()
+	for _, site := range sites {
+		site.Authorize(identity, tenant)
+		site.Injector.UseTelemetry(exp.Telemetry)
+		exp.Sites = append(exp.Sites, site)
+		// Health-only adoption: a leased site's liveness still gates the
+		// experiment's Healthy, but Stop must not tear a shared site down.
+		exp.sup.Adopt("leased-site:"+site.Spec.Name, runtime.Funcs{
+			HealthyFunc: site.Healthy,
+		})
+		if err := exp.wireSiteFeed(site); err != nil {
+			exp.Stop()
+			revokeAll(sites, identity)
+			return nil, err
+		}
+	}
+	if spec.Archive != nil {
+		if err := exp.setupArchive(spec.Archive); err != nil {
+			exp.Stop()
+			revokeAll(sites, identity)
+			return nil, fmt.Errorf("most: archive: %w", err)
+		}
+		exp.sup.Adopt("archive-ftp", runtime.StopErrFunc(exp.arch.ftp.Close))
+	}
+	// Revocation is adopted last so it runs first on Stop: the tenant's
+	// identity disappears from every slot before anything else drains.
+	exp.sup.Adopt("tenant-authz", runtime.StopFunc(func() {
+		revokeAll(sites, identity)
+	}))
+	exp.obsAgg = obs.New(obs.Config{
+		Sources: []obs.Source{exp.coordinatorSource()},
+		SLOs:    spec.SLOs,
+	})
+	if err := exp.sup.Start(context.Background()); err != nil {
+		exp.Stop()
+		return nil, err
+	}
+	return exp, nil
+}
+
+// revokeAll removes a coordinator identity from every listed site.
+func revokeAll(sites []*Site, identity string) {
+	for _, s := range sites {
+		s.Revoke(identity)
+	}
 }
 
 // Supervisor exposes the experiment's component tree (for probe handlers

@@ -124,6 +124,11 @@ type Site struct {
 	SpanRecorder *trace.Recorder
 
 	container *ogsi.Container
+	// gridmap is the container's live identity→account map. Pooled sites
+	// (internal/fleet) add a tenant's coordinator identity on lease and
+	// revoke it on release, so two tenants' coordinators are never
+	// simultaneously authorized at the same slot.
+	gridmap *gsi.Gridmap
 	// sup supervises the site's components — rig daemons, container, NTCP
 	// server, hub — so teardown is ordered (reverse of start), deadline-
 	// bounded, and error-reporting instead of an ad-hoc cleanup slice.
@@ -283,6 +288,21 @@ func (s *Site) DrainStream(ctx context.Context) error {
 	return s.relay.Drain(ctx)
 }
 
+// Authorize maps a Grid identity into the site's live gridmap under the
+// given local account — the lease-grant path for pooled sites: a tenant's
+// coordinator becomes acceptable to this site's container for the
+// duration of its lease.
+func (s *Site) Authorize(identity, account string) {
+	s.gridmap.Map(identity, account)
+}
+
+// Revoke removes a Grid identity from the site's gridmap — the lease
+// release. A revoked coordinator's envelopes fail authorization on the
+// next call, so a tenant cannot keep driving a slot it returned.
+func (s *Site) Revoke(identity string) {
+	s.gridmap.Unmap(identity)
+}
+
 // Supervisor exposes the site's component tree so an experiment (or an
 // e2e test) can nest it under its own supervisor.
 func (s *Site) Supervisor() *runtime.Supervisor { return s.sup }
@@ -412,6 +432,16 @@ func buildBackend(spec SiteSpec, site *Site) (core.Plugin, error) {
 	}
 }
 
+// StartSharedSite builds and starts one site against a long-lived pool CA
+// with an empty gridmap: no coordinator is authorized until a lease maps
+// one in with Authorize. This is the constructor behind internal/fleet's
+// shared site pool — the site outlives any single experiment and is reused
+// across tenants (Reset between leases returns the specimen to its virgin
+// state).
+func StartSharedSite(ca *gsi.Authority, trust *gsi.TrustStore, spec SiteSpec) (*Site, error) {
+	return startSite(ca, trust, "", spec)
+}
+
 // startSite builds and starts one site against the experiment CA.
 func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, spec SiteSpec) (*Site, error) {
 	if spec.Point == "" {
@@ -445,7 +475,11 @@ func startSite(ca *gsi.Authority, trust *gsi.TrustStore, coordIdentity string, s
 	if err != nil {
 		return nil, err
 	}
-	gm := gsi.NewGridmap(map[string]string{coordIdentity: "coord"})
+	gm := gsi.NewGridmap(nil)
+	if coordIdentity != "" {
+		gm.Map(coordIdentity, "coord")
+	}
+	site.gridmap = gm
 	cont := ogsi.NewContainer(siteCred, trust, gm)
 	cont.UseTelemetry(site.Telemetry)
 	cont.UseTracer(site.Tracer)

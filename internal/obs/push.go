@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"neesgrid/internal/telemetry"
+)
+
+// PushSnapshot POSTs one registry snapshot to a remote aggregator's
+// /push?site= endpoint — the client half of push-mode aggregation. An
+// experiment fleet uses it to point each run's aggregator at fleetd: the
+// run's merged roll-up arrives as one named source, and fleetd's /fleet
+// view then serves the whole fleet without scraping into tenant
+// topologies. A nil client uses http.DefaultClient.
+func PushSnapshot(client *http.Client, base, site string, snap telemetry.Snapshot) error {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("obs: push encode: %w", err)
+	}
+	u := base + "/push?site=" + url.QueryEscape(site)
+	resp, err := client.Post(u, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("obs: push %s: %w", site, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("obs: push %s: %s: %s", site, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}

@@ -42,6 +42,15 @@ func probeHandler(probe func() error) http.Handler {
 	})
 }
 
+// RegisterProbes mounts the supervisor's /healthz and /readyz handlers on
+// an existing mux — for daemons whose primary API listener should answer
+// probes directly (fleetd serves them beside /fleet and /metrics) instead
+// of requiring a separate -pprof side listener.
+func (s *Supervisor) RegisterProbes(mux *http.ServeMux) {
+	mux.Handle("/healthz", s.HealthzHandler())
+	mux.Handle("/readyz", s.ReadyzHandler())
+}
+
 // DebugMux extends the trace/pprof debug mux every daemon serves behind
 // its -pprof flag with the supervisor's /healthz and /readyz probes: one
 // side listener carries profiles, spans, liveness and readiness.
